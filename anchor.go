@@ -1,0 +1,197 @@
+// Package anchor is a from-scratch Go reproduction of "Understanding the
+// Downstream Instability of Word Embeddings" (Leszczynski et al., MLSys
+// 2020). It studies how retraining word embeddings on slightly different
+// corpora changes the predictions of downstream NLP models, exposes the
+// paper's stability-memory tradeoff, and implements its main contribution:
+// the eigenspace instability measure, a theoretically grounded criterion
+// for selecting embedding dimension-precision parameters without training
+// downstream models.
+//
+// The package is a facade over the internal implementation:
+//
+//   - corpora:   synthetic Wikipedia-snapshot pairs with controlled drift
+//   - trainers:  CBOW, GloVe, matrix completion (MC), fastText subword
+//   - compression: uniform quantization with shared clipping thresholds
+//   - measures:  eigenspace instability, k-NN, semantic displacement,
+//     PIP loss, eigenspace overlap
+//   - downstream: sentiment (linear BOW, CNN), NER (BiLSTM, BiLSTM-CRF),
+//     knowledge graph embeddings (TransE), mini-BERT
+//   - selection: dimension-precision selection under memory budgets
+//   - experiments: one runner per paper table/figure
+//
+// # Quickstart
+//
+//	c17 := anchor.GenerateCorpus(anchor.DefaultCorpusConfig(), anchor.Wiki17)
+//	c18 := anchor.GenerateCorpus(anchor.DefaultCorpusConfig(), anchor.Wiki18)
+//	e17, _ := anchor.TrainEmbedding("cbow", c17, 64, 1)
+//	e18, _ := anchor.TrainEmbedding("cbow", c18, 64, 1)
+//	e18.AlignTo(e17)
+//	q17, q18 := anchor.QuantizePair(e17, e18, 4)
+//	eis := anchor.NewEigenspaceInstability(e17, e18)
+//	fmt.Println(eis.Distance(q17, q18))
+package anchor
+
+import (
+	"fmt"
+	"io"
+
+	"anchor/internal/compress"
+	"anchor/internal/core"
+	"anchor/internal/corpus"
+	"anchor/internal/embedding"
+	"anchor/internal/embtrain"
+	"anchor/internal/experiments"
+	"anchor/internal/selection"
+	"anchor/internal/stats"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Embedding is a vocabulary-aligned word embedding matrix.
+	Embedding = embedding.Embedding
+	// EmbeddingMeta records an embedding's provenance.
+	EmbeddingMeta = embedding.Meta
+	// Corpus is a generated snapshot of the synthetic corpus.
+	Corpus = corpus.Corpus
+	// CorpusConfig parameterizes corpus generation.
+	CorpusConfig = corpus.Config
+	// Measure is an embedding distance measure predicting downstream
+	// instability (larger = more unstable).
+	Measure = core.Measure
+	// EigenspaceInstability is the paper's proposed measure (Definition 2).
+	EigenspaceInstability = core.EigenspaceInstability
+	// Candidate is a dimension-precision configuration for selection.
+	Candidate = selection.Candidate
+	// ExperimentConfig scopes a reproduction run.
+	ExperimentConfig = experiments.Config
+	// LinearLogFit is the fitted stability-memory trend.
+	LinearLogFit = stats.LinearLogFit
+	// LinearLogPoint is one observation for the trend fit.
+	LinearLogPoint = stats.LinearLogPoint
+)
+
+// Corpus snapshot years.
+const (
+	Wiki17 = corpus.Wiki17
+	Wiki18 = corpus.Wiki18
+)
+
+// DefaultCorpusConfig returns the repro-scale corpus configuration.
+func DefaultCorpusConfig() CorpusConfig { return corpus.DefaultConfig() }
+
+// GenerateCorpus deterministically generates a snapshot.
+func GenerateCorpus(cfg CorpusConfig, year corpus.Year) *Corpus {
+	return corpus.Generate(cfg, year)
+}
+
+// Algorithms lists the available embedding algorithm names.
+func Algorithms() []string { return []string{"cbow", "glove", "mc", "fasttext"} }
+
+// TrainEmbedding trains an embedding with the named algorithm's default
+// configuration. The result is deterministic in (corpus, dim, seed).
+func TrainEmbedding(algo string, c *Corpus, dim int, seed int64) (*Embedding, error) {
+	tr, ok := embtrain.ByName(algo)
+	if !ok {
+		return nil, fmt.Errorf("anchor: unknown algorithm %q (have %v)", algo, Algorithms())
+	}
+	return tr.Train(c, dim, seed), nil
+}
+
+// QuantizePair compresses an embedding pair to the given precision (bits
+// per entry) with uniform quantization, computing the clipping threshold
+// on the first embedding and sharing it with the second as the paper
+// prescribes. bits = 32 means full precision.
+func QuantizePair(x, xTilde *Embedding, bits int) (*Embedding, *Embedding) {
+	return compress.QuantizePair(x, xTilde, bits)
+}
+
+// LoadEmbedding reads an embedding saved with Embedding.SaveFile.
+func LoadEmbedding(path string) (*Embedding, error) { return embedding.LoadFile(path) }
+
+// NewEigenspaceInstability returns the paper's measure with anchors
+// (e, eTilde) and the selected alpha = 3.
+func NewEigenspaceInstability(e, eTilde *Embedding) *EigenspaceInstability {
+	return core.NewEigenspaceInstability(e, eTilde)
+}
+
+// AllMeasures returns the paper's five embedding distance measures in
+// reporting order, with the given EIS anchors.
+func AllMeasures(e, eTilde *Embedding) []Measure { return core.AllMeasures(e, eTilde) }
+
+// PredictionDisagreement returns the fraction of aligned predictions that
+// differ between two downstream models (Definition 1, zero-one loss).
+func PredictionDisagreement[T comparable](a, b []T) float64 {
+	return core.PredictionDisagreement(a, b)
+}
+
+// PredictionDisagreementPct returns PredictionDisagreement in percent.
+func PredictionDisagreementPct[T comparable](a, b []T) float64 {
+	return core.PredictionDisagreementPct(a, b)
+}
+
+// SelectUnderBudget picks, within each memory budget (dim x precision)
+// group, the candidate minimizing the named measure, and reports the mean
+// and worst absolute distance to the oracle instability (Section 5.2's
+// harder selection setting).
+func SelectUnderBudget(cands []Candidate, measure string) (mean, worst float64) {
+	return selection.OracleDistance(cands, selection.MeasureSelector(measure))
+}
+
+// PairwiseSelectionError reports how often the named measure picks the
+// less stable of two candidate configurations (Section 5.2's first
+// selection setting).
+func PairwiseSelectionError(cands []Candidate, measure string) float64 {
+	return selection.PairwiseError(cands, measure)
+}
+
+// FitStabilityMemoryTrend fits the paper's linear-log rule of thumb
+// DI ≈ C_task − slope·log2(memory) to observations.
+func FitStabilityMemoryTrend(points []LinearLogPoint) LinearLogFit {
+	return stats.FitLinearLog(points)
+}
+
+// Experiment configurations for reproduction runs.
+func SmallExperimentConfig() ExperimentConfig { return experiments.SmallConfig() }
+
+// BenchExperimentConfig returns the benchmark-scale configuration.
+func BenchExperimentConfig() ExperimentConfig { return experiments.BenchConfig() }
+
+// ReproExperimentConfig returns the full-scale configuration.
+func ReproExperimentConfig() ExperimentConfig { return experiments.ReproConfig() }
+
+// ExperimentIDs lists every reproducible paper artifact.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment executes a paper artifact reproduction by id ("fig1",
+// "table3", ...) and renders its tables to w. The runner caches trained
+// embeddings, so reuse it across experiments via RunAllExperiments when
+// reproducing several artifacts.
+func RunExperiment(cfg ExperimentConfig, id string, w io.Writer) error {
+	return renderExperiment(experiments.NewRunner(cfg), id, w)
+}
+
+// RunAllExperiments executes the given artifact ids (or all registered
+// ones if empty) against one shared runner and renders results to w.
+func RunAllExperiments(cfg ExperimentConfig, ids []string, w io.Writer) error {
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	r := experiments.NewRunner(cfg)
+	for _, id := range ids {
+		if err := renderExperiment(r, id, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderExperiment(r *experiments.Runner, id string, w io.Writer) error {
+	tables, err := experiments.Run(r, id)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Render(w)
+	}
+	return nil
+}

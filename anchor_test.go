@@ -1,0 +1,106 @@
+package anchor_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"anchor"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := anchor.DefaultCorpusConfig()
+	cfg.VocabSize = 300
+	cfg.NumDocs = 120
+	c17 := anchor.GenerateCorpus(cfg, anchor.Wiki17)
+	c18 := anchor.GenerateCorpus(cfg, anchor.Wiki18)
+
+	e17, err := anchor.TrainEmbedding("mc", c17, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e18, err := anchor.TrainEmbedding("mc", c18, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e18.AlignTo(e17)
+	e18.Meta.Corpus = "wiki18a"
+	q17, q18 := anchor.QuantizePair(e17, e18, 4)
+	if q17.Meta.Precision != 4 || q18.Meta.Precision != 4 {
+		t.Fatal("quantized precision not recorded")
+	}
+
+	eis := anchor.NewEigenspaceInstability(e17, e18)
+	if d := eis.Distance(q17, q18); d <= 0 || d > 1 {
+		t.Fatalf("EIS distance out of range: %v", d)
+	}
+	if got := len(anchor.AllMeasures(e17, e18)); got != 5 {
+		t.Fatalf("expected 5 measures, got %d", got)
+	}
+}
+
+func TestFacadeUnknownAlgorithm(t *testing.T) {
+	cfg := anchor.DefaultCorpusConfig()
+	cfg.VocabSize = 300
+	cfg.NumDocs = 50
+	c := anchor.GenerateCorpus(cfg, anchor.Wiki17)
+	if _, err := anchor.TrainEmbedding("elmo", c, 8, 1); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestFacadeDisagreement(t *testing.T) {
+	if anchor.PredictionDisagreement([]int{1, 2, 3}, []int{1, 0, 3}) != 1.0/3 {
+		t.Fatal("disagreement wrong")
+	}
+	if anchor.PredictionDisagreementPct([]string{"a"}, []string{"b"}) != 100 {
+		t.Fatal("pct wrong")
+	}
+}
+
+func TestFacadeSelectionHelpers(t *testing.T) {
+	cands := []anchor.Candidate{
+		{Dim: 8, Precision: 32, Measures: map[string]float64{"m": 2}, TrueDI: 4},
+		{Dim: 32, Precision: 8, Measures: map[string]float64{"m": 1}, TrueDI: 2},
+		{Dim: 64, Precision: 4, Measures: map[string]float64{"m": 3}, TrueDI: 6},
+	}
+	if e := anchor.PairwiseSelectionError(cands, "m"); e != 0 {
+		t.Fatalf("selection error = %v", e)
+	}
+	mean, worst := anchor.SelectUnderBudget(cands, "m")
+	if mean != 0 || worst != 0 {
+		t.Fatalf("budget selection = %v/%v (measure picks the oracle here)", mean, worst)
+	}
+}
+
+func TestFacadeTrendFit(t *testing.T) {
+	pts := []anchor.LinearLogPoint{
+		{Task: "t", X: 64, Y: 10}, {Task: "t", X: 128, Y: 8.7},
+		{Task: "t", X: 256, Y: 7.4}, {Task: "t", X: 512, Y: 6.1},
+	}
+	fit := anchor.FitStabilityMemoryTrend(pts)
+	if fit.Slope < 1.2 || fit.Slope > 1.4 {
+		t.Fatalf("slope = %v, want ~1.3", fit.Slope)
+	}
+}
+
+func TestFacadeExperimentIDsAndRun(t *testing.T) {
+	ids := anchor.ExperimentIDs()
+	if len(ids) != 25 {
+		t.Fatalf("expected 25 experiment ids, got %d", len(ids))
+	}
+	var buf bytes.Buffer
+	if err := anchor.RunExperiment(anchor.SmallExperimentConfig(), "prop1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Proposition 1") {
+		t.Fatalf("unexpected output: %s", buf.String())
+	}
+}
+
+func TestFacadeRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := anchor.RunExperiment(anchor.SmallExperimentConfig(), "fig99", &buf); err == nil {
+		t.Fatal("expected error")
+	}
+}

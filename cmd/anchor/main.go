@@ -1,0 +1,210 @@
+// Command anchor is the CLI for the anchor library: train embedding
+// snapshot pairs, compress them, compute embedding distance measures, and
+// measure end-to-end downstream instability.
+//
+// Usage:
+//
+//	anchor train    -algo cbow -dim 64 -seed 1 -year 2017 -out emb17.gob
+//	anchor measure  -a emb17.gob -b emb18.gob -bits 4 -top 300
+//	anchor stability -algo mc -dim 32 -bits 4 -seed 1 -task sst2
+//	anchor experiment -id fig1 -config small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"anchor"
+	"anchor/internal/core"
+	"anchor/internal/corpus"
+	"anchor/internal/tasks/ner"
+	"anchor/internal/tasks/sentiment"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "measure":
+		err = cmdMeasure(os.Args[2:])
+	case "stability":
+		err = cmdStability(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "anchor: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anchor:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `anchor <command> [flags]
+
+commands:
+  train       train one embedding snapshot and save it
+  measure     compute all embedding distance measures between two embeddings
+  stability   end-to-end downstream instability for one configuration
+  experiment  reproduce a paper table/figure by id (see cmd/experiments for the full runner)`)
+}
+
+func corpusFor(year int) (*corpus.Corpus, corpus.Config, error) {
+	cfg := anchor.DefaultCorpusConfig()
+	switch year {
+	case 2017:
+		return anchor.GenerateCorpus(cfg, anchor.Wiki17), cfg, nil
+	case 2018:
+		return anchor.GenerateCorpus(cfg, anchor.Wiki18), cfg, nil
+	}
+	return nil, cfg, fmt.Errorf("year must be 2017 or 2018")
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	algo := fs.String("algo", "cbow", "embedding algorithm: "+strings.Join(anchor.Algorithms(), ", "))
+	dim := fs.Int("dim", 64, "embedding dimension")
+	seed := fs.Int64("seed", 1, "training seed")
+	year := fs.Int("year", 2017, "corpus snapshot year (2017 or 2018)")
+	out := fs.String("out", "emb.gob", "output path")
+	fs.Parse(args)
+
+	c, _, err := corpusFor(*year)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %s dim=%d seed=%d on %d tokens...\n", *algo, *dim, *seed, c.Tokens)
+	e, err := anchor.TrainEmbedding(*algo, c, *dim, *seed)
+	if err != nil {
+		return err
+	}
+	if err := e.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("saved %s (%d x %d) to %s\n", e.Meta, e.Rows(), e.Dim(), *out)
+	return nil
+}
+
+func cmdMeasure(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	aPath := fs.String("a", "", "first embedding (gob)")
+	bPath := fs.String("b", "", "second embedding (gob)")
+	bits := fs.Int("bits", 32, "quantize both to this precision first")
+	top := fs.Int("top", 300, "compute measures over the top-N frequent words")
+	fs.Parse(args)
+	if *aPath == "" || *bPath == "" {
+		return fmt.Errorf("measure requires -a and -b")
+	}
+	a, err := anchor.LoadEmbedding(*aPath)
+	if err != nil {
+		return err
+	}
+	b, err := anchor.LoadEmbedding(*bPath)
+	if err != nil {
+		return err
+	}
+	b.AlignTo(a)
+	b.Meta.Corpus += "a"
+	qa, qb := anchor.QuantizePair(a, b, *bits)
+
+	// Anchors: the full-precision pair itself (callers with a dimension
+	// sweep should pass their largest pair; the CLI uses what it has).
+	c17, ccfg, _ := corpusFor(2017)
+	_ = ccfg
+	ids := c17.TopWords(*top)
+	sa, sb := qa.SubRows(ids), qb.SubRows(ids)
+	ea, eb := a.SubRows(ids), b.SubRows(ids)
+	for _, m := range anchor.AllMeasures(ea, eb) {
+		fmt.Printf("%-24s %.6f\n", m.Name(), m.Distance(sa, sb))
+	}
+	return nil
+}
+
+func cmdStability(args []string) error {
+	fs := flag.NewFlagSet("stability", flag.ExitOnError)
+	algo := fs.String("algo", "mc", "embedding algorithm")
+	dim := fs.Int("dim", 32, "embedding dimension")
+	bits := fs.Int("bits", 32, "precision in bits")
+	seed := fs.Int64("seed", 1, "seed for embeddings and downstream model")
+	task := fs.String("task", "sst2", "downstream task: sst2, mr, subj, mpqa, conll2003")
+	fs.Parse(args)
+
+	cfg := anchor.DefaultCorpusConfig()
+	c17 := anchor.GenerateCorpus(cfg, anchor.Wiki17)
+	c18 := anchor.GenerateCorpus(cfg, anchor.Wiki18)
+	fmt.Printf("training %s dim=%d on Wiki'17 and Wiki'18...\n", *algo, *dim)
+	e17, err := anchor.TrainEmbedding(*algo, c17, *dim, *seed)
+	if err != nil {
+		return err
+	}
+	e18, err := anchor.TrainEmbedding(*algo, c18, *dim, *seed)
+	if err != nil {
+		return err
+	}
+	e18.AlignTo(e17)
+	e18.Meta.Corpus = "wiki18a"
+	q17, q18 := anchor.QuantizePair(e17, e18, *bits)
+
+	var di float64
+	switch *task {
+	case "conll2003":
+		ds := ner.Generate(c17, cfg, ner.CoNLLParams())
+		ncfg := ner.DefaultConfig(*seed)
+		m17 := ner.Train(q17, ds, ncfg)
+		m18 := ner.Train(q18, ds, ncfg)
+		di = core.PredictionDisagreementPct(m17.EntityPredictions(ds.Test), m18.EntityPredictions(ds.Test))
+	default:
+		var p sentiment.Params
+		switch *task {
+		case "sst2":
+			p = sentiment.SST2Params()
+		case "mr":
+			p = sentiment.MRParams()
+		case "subj":
+			p = sentiment.SubjParams()
+		case "mpqa":
+			p = sentiment.MPQAParams()
+		default:
+			return fmt.Errorf("unknown task %q", *task)
+		}
+		ds := sentiment.Generate(c17, cfg, p)
+		scfg := sentiment.DefaultLinearBOWConfig(*seed)
+		m17 := sentiment.TrainLinearBOW(q17, ds, scfg)
+		m18 := sentiment.TrainLinearBOW(q18, ds, scfg)
+		di = core.PredictionDisagreementPct(m17.Predict(ds.Test), m18.Predict(ds.Test))
+	}
+	fmt.Printf("task=%s algo=%s dim=%d bits=%d memory=%d bits/word\n", *task, *algo, *dim, *bits, *dim**bits)
+	fmt.Printf("downstream prediction disagreement: %.2f%%\n", di)
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	id := fs.String("id", "fig1", "artifact id: "+strings.Join(anchor.ExperimentIDs(), ", "))
+	config := fs.String("config", "small", "config scale: small, bench, repro")
+	fs.Parse(args)
+	var cfg anchor.ExperimentConfig
+	switch *config {
+	case "small":
+		cfg = anchor.SmallExperimentConfig()
+	case "bench":
+		cfg = anchor.BenchExperimentConfig()
+	case "repro":
+		cfg = anchor.ReproExperimentConfig()
+	default:
+		return fmt.Errorf("unknown config %q", *config)
+	}
+	return anchor.RunExperiment(cfg, *id, os.Stdout)
+}

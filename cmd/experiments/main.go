@@ -1,0 +1,59 @@
+// Command experiments reproduces the paper's tables and figures. It runs
+// one or all registered artifacts against a shared cached runner, so the
+// embedding grid is trained once per invocation.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -id fig2 -config bench
+//	experiments -all -config bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"anchor"
+)
+
+func main() {
+	id := flag.String("id", "", "artifact id to run (see -list)")
+	all := flag.Bool("all", false, "run every registered artifact")
+	list := flag.Bool("list", false, "list artifact ids")
+	config := flag.String("config", "small", "config scale: small, bench, repro")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(anchor.ExperimentIDs(), "\n"))
+		return
+	}
+	var cfg anchor.ExperimentConfig
+	switch *config {
+	case "small":
+		cfg = anchor.SmallExperimentConfig()
+	case "bench":
+		cfg = anchor.BenchExperimentConfig()
+	case "repro":
+		cfg = anchor.ReproExperimentConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
+		os.Exit(2)
+	}
+
+	var err error
+	switch {
+	case *all:
+		err = anchor.RunAllExperiments(cfg, nil, os.Stdout)
+	case *id != "":
+		err = anchor.RunExperiment(cfg, *id, os.Stdout)
+	default:
+		fmt.Fprintln(os.Stderr, "pass -id <artifact> or -all (use -list for ids)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

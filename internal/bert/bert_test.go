@@ -1,0 +1,112 @@
+package bert
+
+import (
+	"testing"
+
+	"anchor/internal/corpus"
+)
+
+func pretrainTiny(t *testing.T, seed int64) (*Model, *corpus.Corpus) {
+	t.Helper()
+	ccfg := corpus.TestConfig()
+	c := corpus.Generate(ccfg, corpus.Wiki17)
+	cfg := DefaultConfig(16, seed)
+	cfg.Epochs = 1
+	cfg.SubsampleFrac = 0.15
+	return Pretrain(c, cfg), c
+}
+
+func TestPretrainReducesMLMLoss(t *testing.T) {
+	ccfg := corpus.TestConfig()
+	c := corpus.Generate(ccfg, corpus.Wiki17)
+	cfg := DefaultConfig(16, 1)
+	cfg.Epochs = 0 // untrained baseline
+	cfg.SubsampleFrac = 0.15
+	untrained := Pretrain(c, cfg)
+	base := untrained.MLMLoss(c, 40, 9)
+
+	cfg.Epochs = 2
+	trained := Pretrain(c, cfg)
+	after := trained.MLMLoss(c, 40, 9)
+	if after >= base {
+		t.Fatalf("MLM loss did not improve: %.3f -> %.3f", base, after)
+	}
+	t.Logf("MLM loss: %.3f -> %.3f", base, after)
+}
+
+func TestEncodeShapeAndTruncation(t *testing.T) {
+	m, c := pretrainTiny(t, 2)
+	sent := c.Sentences[0]
+	h := m.Encode(sent)
+	wantRows := len(sent)
+	if wantRows > m.Cfg.SeqLen {
+		wantRows = m.Cfg.SeqLen
+	}
+	if h.Rows != wantRows || h.Cols != 16 {
+		t.Fatalf("Encode shape %dx%d", h.Rows, h.Cols)
+	}
+	long := make([]int32, 50)
+	if got := m.Encode(long); got.Rows != m.Cfg.SeqLen {
+		t.Fatalf("truncation failed: %d rows", got.Rows)
+	}
+}
+
+func TestEncodeContextSensitivity(t *testing.T) {
+	// The representation of token 0 must depend on its context — that is
+	// what makes the embedding contextual.
+	m, _ := pretrainTiny(t, 3)
+	a := m.Encode([]int32{5, 7, 9})
+	b := m.Encode([]int32{5, 8, 2})
+	same := true
+	for j := 0; j < m.Cfg.Hidden; j++ {
+		if a.At(0, j) != b.At(0, j) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("token representation insensitive to context")
+	}
+}
+
+func TestSentenceFeatureDeterministic(t *testing.T) {
+	m, c := pretrainTiny(t, 4)
+	f1 := m.SentenceFeature(c.Sentences[1])
+	f2 := m.SentenceFeature(c.Sentences[1])
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("feature extraction not deterministic")
+		}
+	}
+	if len(f1) != 16 {
+		t.Fatalf("feature length %d", len(f1))
+	}
+}
+
+func TestPretrainDeterministicAcrossRuns(t *testing.T) {
+	a, c := pretrainTiny(t, 5)
+	b, _ := pretrainTiny(t, 5)
+	fa := a.SentenceFeature(c.Sentences[0])
+	fb := b.SentenceFeature(c.Sentences[0])
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatal("pre-training not deterministic")
+		}
+	}
+}
+
+func TestSeedChangesModel(t *testing.T) {
+	a, c := pretrainTiny(t, 6)
+	b, _ := pretrainTiny(t, 7)
+	fa := a.SentenceFeature(c.Sentences[0])
+	fb := b.SentenceFeature(c.Sentences[0])
+	same := true
+	for i := range fa {
+		if fa[i] != fb[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical models")
+	}
+}

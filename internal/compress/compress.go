@@ -1,0 +1,142 @@
+// Package compress implements the uniform quantization scheme the paper
+// uses to control embedding precision (Section 2.3, Appendix C.2, after
+// May et al. 2019's "smallfry"). Each entry is clipped to [-c, c] and
+// rounded deterministically to one of 2^b equally spaced values, so it can
+// be stored with b bits. Two stability-relevant details from the paper are
+// preserved:
+//
+//   - the clipping threshold c is chosen by minimizing quantization MSE on
+//     the FIRST embedding of a pair and reused for the second, avoiding a
+//     spurious source of instability;
+//   - rounding is deterministic (round-to-nearest), not stochastic.
+package compress
+
+import (
+	"math"
+
+	"anchor/internal/embedding"
+	"anchor/internal/floats"
+)
+
+// FullPrecision is the number of bits that means "no compression".
+const FullPrecision = 32
+
+// OptimalClip returns the clipping threshold that minimizes the mean
+// squared quantization error of uniform b-bit quantization on data,
+// searched over a grid of quantiles of |data|.
+func OptimalClip(data []float64, bits int) float64 {
+	abs := make([]float64, len(data))
+	for i, v := range data {
+		abs[i] = math.Abs(v)
+	}
+	maxAbs := floats.Max(abs)
+	if maxAbs == 0 {
+		return 1
+	}
+	bestClip, bestMSE := maxAbs, math.Inf(1)
+	for _, q := range []float64{0.5, 0.75, 0.9, 0.95, 0.99, 0.995, 0.999, 1.0} {
+		clip := floats.Quantile(abs, q)
+		if clip <= 0 {
+			continue
+		}
+		mse := quantMSE(data, clip, bits)
+		if mse < bestMSE {
+			bestMSE, bestClip = mse, clip
+		}
+	}
+	return bestClip
+}
+
+func quantMSE(data []float64, clip float64, bits int) float64 {
+	var mse float64
+	for _, v := range data {
+		q := quantizeValue(v, clip, bits)
+		d := v - q
+		mse += d * d
+	}
+	return mse / float64(len(data))
+}
+
+// quantizeValue rounds v to the nearest of 2^bits equally spaced values in
+// [-clip, clip].
+func quantizeValue(v, clip float64, bits int) float64 {
+	levels := float64(int64(1) << uint(bits)) // 2^b
+	if v > clip {
+		v = clip
+	} else if v < -clip {
+		v = -clip
+	}
+	// Map [-clip, clip] onto [0, levels-1], round, map back.
+	// For 1 bit (two levels) this degenerates to sign quantization at ±clip.
+	step := 2 * clip / (levels - 1)
+	idx := math.Round((v + clip) / step)
+	if idx < 0 {
+		idx = 0
+	}
+	max := levels - 1
+	if idx > max {
+		idx = max
+	}
+	return idx*step - clip
+}
+
+// QuantizeValues quantizes data in place to the given number of bits with
+// the given clip; bits >= 32 leaves the data unchanged. It is the raw
+// primitive behind Quantize, exported for non-word-embedding matrices
+// (knowledge graph embeddings, BERT features).
+func QuantizeValues(data []float64, bits int, clip float64) {
+	if bits >= FullPrecision {
+		return
+	}
+	if bits < 1 {
+		panic("compress: bits must be >= 1")
+	}
+	for i, v := range data {
+		data[i] = quantizeValue(v, clip, bits)
+	}
+}
+
+// Quantize returns a copy of e uniformly quantized to the given number of
+// bits using clip as the clipping threshold. bits == 32 returns an
+// unmodified copy (full precision). The returned embedding records the
+// precision in its Meta.
+func Quantize(e *embedding.Embedding, bits int, clip float64) *embedding.Embedding {
+	out := e.Clone()
+	out.Meta.Precision = bits
+	if bits >= FullPrecision {
+		out.Meta.Precision = FullPrecision
+		return out
+	}
+	if bits < 1 {
+		panic("compress: bits must be >= 1")
+	}
+	for i, v := range out.Vectors.Data {
+		out.Vectors.Data[i] = quantizeValue(v, clip, bits)
+	}
+	return out
+}
+
+// QuantizePair compresses a Wiki'17/Wiki'18 embedding pair to the given
+// precision, computing the MSE-optimal clip on x and sharing it with
+// xTilde exactly as the paper prescribes.
+func QuantizePair(x, xTilde *embedding.Embedding, bits int) (*embedding.Embedding, *embedding.Embedding) {
+	if bits >= FullPrecision {
+		qx, qy := x.Clone(), xTilde.Clone()
+		qx.Meta.Precision, qy.Meta.Precision = FullPrecision, FullPrecision
+		return qx, qy
+	}
+	clip := OptimalClip(x.Vectors.Data, bits)
+	return Quantize(x, bits, clip), Quantize(xTilde, bits, clip)
+}
+
+// Levels returns the set of representable values for the given clip and
+// bit width, useful for tests and documentation.
+func Levels(clip float64, bits int) []float64 {
+	n := int64(1) << uint(bits)
+	step := 2 * clip / float64(n-1)
+	out := make([]float64, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = float64(i)*step - clip
+	}
+	return out
+}

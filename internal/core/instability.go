@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"anchor/internal/embedding"
+	"anchor/internal/matrix"
+)
+
+// PredictionDisagreement implements Definition 1 (downstream instability)
+// with the zero-one loss: the fraction of heldout predictions on which two
+// downstream models disagree. The two slices must be the aligned
+// predictions of the models trained on X and X̃ over the same heldout set.
+func PredictionDisagreement[T comparable](a, b []T) float64 {
+	if len(a) != len(b) {
+		panic("core: prediction slices must align")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	return float64(diff) / float64(len(a))
+}
+
+// PredictionDisagreementPct returns PredictionDisagreement as a percentage,
+// the unit used throughout the paper's figures and tables.
+func PredictionDisagreementPct[T comparable](a, b []T) float64 {
+	return 100 * PredictionDisagreement(a, b)
+}
+
+// LinearRegressionPredictions returns the in-sample predictions of the
+// least-squares linear model trained on data matrix X with label vector y:
+// X(XᵀX)⁻¹Xᵀy = UUᵀy, where U holds X's left singular vectors. This is
+// the closed form Proposition 1 builds on.
+func LinearRegressionPredictions(x *embedding.Embedding, y []float64) []float64 {
+	u := thinSVD(x).U
+	uty := matrix.MulVecT(u, y)
+	return matrix.MulVec(u, uty)
+}
+
+// ExpectedLinearDisagreement estimates, by Monte Carlo over nSamples label
+// vectors y ~ N(0, Σ), the normalized expected squared disagreement
+// between the linear regression models trained on x and xt:
+//
+//	E[Σᵢ (f_y(xᵢ) − f̃_y(x̃ᵢ))²] / E[‖y‖²].
+//
+// Proposition 1 states this equals EigenspaceInstability.Distance(x, xt)
+// when Σ matches the measure's anchor covariance; the property tests use
+// this function to verify the theory numerically. sigmaSqrt must satisfy
+// Σ = sigmaSqrt · sigmaSqrtᵀ.
+func ExpectedLinearDisagreement(x, xt *embedding.Embedding, sigmaSqrt *matrix.Dense, nSamples int, seed int64) float64 {
+	n := x.Rows()
+	if sigmaSqrt.Rows != n {
+		panic("core: sigmaSqrt row mismatch")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var num, den float64
+	g := make([]float64, sigmaSqrt.Cols)
+	for s := 0; s < nSamples; s++ {
+		for i := range g {
+			g[i] = rng.NormFloat64()
+		}
+		y := matrix.MulVec(sigmaSqrt, g)
+		pa := LinearRegressionPredictions(x, y)
+		pb := LinearRegressionPredictions(xt, y)
+		for i := range y {
+			d := pa[i] - pb[i]
+			num += d * d
+			den += y[i] * y[i]
+		}
+	}
+	return num / den
+}
+
+// AnchorCovarianceSqrt returns a matrix S with S·Sᵀ = (EEᵀ)^α + (ẼẼᵀ)^α,
+// the covariance the eigenspace instability measure uses; sampling
+// y = S·g with g ~ N(0, I) yields labels with that covariance. S is the
+// horizontal concatenation of U_E R_E^α and U_Ẽ R_Ẽ^α.
+func AnchorCovarianceSqrt(e, eTilde *embedding.Embedding, alpha float64) *matrix.Dense {
+	se := thinSVD(e)
+	st := thinSVD(eTilde)
+	n := e.Rows()
+	cols := len(se.S) + len(st.S)
+	out := matrix.NewDense(n, cols)
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		for j, sv := range se.S {
+			row[j] = se.U.At(i, j) * math.Pow(sv, alpha)
+		}
+		for j, sv := range st.S {
+			row[len(se.S)+j] = st.U.At(i, j) * math.Pow(sv, alpha)
+		}
+	}
+	return out
+}

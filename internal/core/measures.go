@@ -1,0 +1,348 @@
+// Package core implements the paper's primary contribution: the
+// eigenspace instability measure (Definition 2) with its theoretical link
+// to downstream prediction disagreement (Proposition 1), alongside the four
+// baseline embedding distance measures it is evaluated against (Section
+// 2.4) and the downstream instability definition itself (Definition 1).
+//
+// All measures follow the convention "larger value = predicted to be more
+// unstable downstream", so the paper's "1 − k-NN" and "1 − eigenspace
+// overlap" reporting convention is built in.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"anchor/internal/embedding"
+	"anchor/internal/floats"
+	"anchor/internal/matrix"
+)
+
+// Measure is an embedding distance measure: given a pair of embeddings
+// over the same vocabulary it returns a scalar that is intended to predict
+// the downstream instability of the pair (larger = more unstable).
+type Measure interface {
+	Name() string
+	Distance(x, xt *embedding.Embedding) float64
+}
+
+// svdCache memoizes thin SVDs keyed by embedding identity. The selection
+// experiments evaluate several measures over many pairs that share
+// embeddings, and the SVD dominates their cost.
+type svdCache struct {
+	mu sync.Mutex
+	m  map[string]matrix.SVD
+}
+
+var sharedSVDs = &svdCache{m: make(map[string]matrix.SVD)}
+
+// cacheKey returns a unique identity for the embedding, or "" if the
+// embedding carries no provenance (ad-hoc matrices are never cached).
+// The shape is part of the key because row-sliced sub-embeddings share
+// their parent's Meta.
+func cacheKey(e *embedding.Embedding) string {
+	if e.Meta.Algorithm == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s@%dx%d", e.Meta.String(), e.Rows(), e.Dim())
+}
+
+func thinSVD(e *embedding.Embedding) matrix.SVD {
+	key := cacheKey(e)
+	if key == "" {
+		return matrix.ComputeSVD(e.Vectors)
+	}
+	sharedSVDs.mu.Lock()
+	s, ok := sharedSVDs.m[key]
+	sharedSVDs.mu.Unlock()
+	if ok {
+		return s
+	}
+	s = matrix.ComputeSVD(e.Vectors)
+	sharedSVDs.mu.Lock()
+	sharedSVDs.m[key] = s
+	sharedSVDs.mu.Unlock()
+	return s
+}
+
+// ResetSVDCache clears the internal SVD cache (for tests and long-running
+// processes that retrain embeddings under identical metadata).
+func ResetSVDCache() {
+	sharedSVDs.mu.Lock()
+	sharedSVDs.m = make(map[string]matrix.SVD)
+	sharedSVDs.mu.Unlock()
+}
+
+// KNN is the k-nearest-neighbor instability measure used in prior work on
+// intrinsic embedding stability (Hellrich & Hahn 2016; Antoniak & Mimno
+// 2018; Wendlandt et al. 2018). Distance returns 1 − (average neighbor
+// overlap) over Queries randomly sampled query words.
+type KNN struct {
+	K       int
+	Queries int
+	Seed    int64
+}
+
+// NewKNN returns the paper's configuration: k=5 (chosen in Appendix D.3),
+// 1000 query words.
+func NewKNN() *KNN { return &KNN{K: 5, Queries: 1000, Seed: 7} }
+
+// Name implements Measure.
+func (m *KNN) Name() string { return "1-knn" }
+
+// Distance implements Measure.
+func (m *KNN) Distance(x, xt *embedding.Embedding) float64 {
+	n := x.Rows()
+	if xt.Rows() != n {
+		panic("core: KNN row mismatch")
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	q := m.Queries
+	if q > n {
+		q = n
+	}
+	queries := rng.Perm(n)[:q]
+
+	var overlap float64
+	for _, qi := range queries {
+		na := nearestK(x, qi, m.K)
+		nb := nearestK(xt, qi, m.K)
+		inA := make(map[int]bool, len(na))
+		for _, w := range na {
+			inA[w] = true
+		}
+		shared := 0
+		for _, w := range nb {
+			if inA[w] {
+				shared++
+			}
+		}
+		overlap += float64(shared) / float64(m.K)
+	}
+	return 1 - overlap/float64(len(queries))
+}
+
+// nearestK returns the indices of the k words most similar to query by
+// cosine similarity, excluding the query itself.
+func nearestK(e *embedding.Embedding, query, k int) []int {
+	type cand struct {
+		idx int
+		sim float64
+	}
+	qv := e.Vector(query)
+	cands := make([]cand, 0, e.Rows()-1)
+	for i := 0; i < e.Rows(); i++ {
+		if i == query {
+			continue
+		}
+		cands = append(cands, cand{i, floats.CosineSim(qv, e.Vector(i))})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].sim != cands[b].sim {
+			return cands[a].sim > cands[b].sim
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+// SemanticDisplacement measures the average cosine distance between
+// aligned word vectors after solving orthogonal Procrustes (Hamilton et
+// al. 2016): (1/n) Σ cos-dist(X_i, (X̃R)_i).
+type SemanticDisplacement struct{}
+
+// Name implements Measure.
+func (SemanticDisplacement) Name() string { return "semantic-displacement" }
+
+// Distance implements Measure.
+func (SemanticDisplacement) Distance(x, xt *embedding.Embedding) float64 {
+	if x.Rows() != xt.Rows() || x.Dim() != xt.Dim() {
+		panic("core: SemanticDisplacement shape mismatch")
+	}
+	r := matrix.Procrustes(x.Vectors, xt.Vectors)
+	aligned := matrix.Mul(xt.Vectors, r)
+	var sum float64
+	for i := 0; i < x.Rows(); i++ {
+		sum += floats.CosineDist(x.Vector(i), aligned.Row(i))
+	}
+	return sum / float64(x.Rows())
+}
+
+// PIPLoss is the pairwise inner product loss ‖XXᵀ − X̃X̃ᵀ‖_F (Yin & Shen
+// 2018), computed without materializing the n-by-n Gram matrices via
+// ‖XXᵀ − X̃X̃ᵀ‖²_F = ‖XᵀX‖²_F + ‖X̃ᵀX̃‖²_F − 2‖XᵀX̃‖²_F.
+type PIPLoss struct{}
+
+// Name implements Measure.
+func (PIPLoss) Name() string { return "pip-loss" }
+
+// Distance implements Measure.
+func (PIPLoss) Distance(x, xt *embedding.Embedding) float64 {
+	if x.Rows() != xt.Rows() {
+		panic("core: PIPLoss row mismatch")
+	}
+	gx := matrix.MulATB(x.Vectors, x.Vectors)
+	gt := matrix.MulATB(xt.Vectors, xt.Vectors)
+	cross := matrix.MulATB(x.Vectors, xt.Vectors)
+	fx, ft, fc := gx.FrobNorm(), gt.FrobNorm(), cross.FrobNorm()
+	v := fx*fx + ft*ft - 2*fc*fc
+	if v < 0 {
+		v = 0 // guard against cancellation for near-identical inputs
+	}
+	return math.Sqrt(v)
+}
+
+// EigenspaceOverlap is 1 minus the eigenspace overlap score
+// (1/max(d,d̃))‖UᵀŨ‖²_F of May et al. 2019, so that larger means more
+// unstable like every other measure here.
+type EigenspaceOverlap struct{}
+
+// Name implements Measure.
+func (EigenspaceOverlap) Name() string { return "1-eigenspace-overlap" }
+
+// Distance implements Measure.
+func (EigenspaceOverlap) Distance(x, xt *embedding.Embedding) float64 {
+	if x.Rows() != xt.Rows() {
+		panic("core: EigenspaceOverlap row mismatch")
+	}
+	u := thinSVD(x).U
+	ut := thinSVD(xt).U
+	cross := matrix.MulATB(u, ut)
+	f := cross.FrobNorm()
+	denom := float64(u.Cols)
+	if ut.Cols > u.Cols {
+		denom = float64(ut.Cols)
+	}
+	return 1 - f*f/denom
+}
+
+// EigenspaceInstability is the paper's new measure (Definition 2): the
+// normalized trace tr((UUᵀ + ŨŨᵀ − 2ŨŨᵀUUᵀ)Σ) / tr(Σ) with
+// Σ = (EEᵀ)^α + (ẼẼᵀ)^α built from two fixed high-quality anchor
+// embeddings E and Ẽ (the paper uses the highest-dimensional
+// full-precision Wiki'17 and Wiki'18 embeddings). Distance evaluates it
+// with the memory-efficient Appendix B.1 factorization, never forming an
+// n-by-n matrix.
+type EigenspaceInstability struct {
+	// E and ETilde are the anchor embeddings defining Σ.
+	E, ETilde *embedding.Embedding
+	// Alpha weights high-eigenvalue directions (the paper selects α=3).
+	Alpha float64
+}
+
+// NewEigenspaceInstability returns the measure with the paper's α=3.
+func NewEigenspaceInstability(e, eTilde *embedding.Embedding) *EigenspaceInstability {
+	return &EigenspaceInstability{E: e, ETilde: eTilde, Alpha: 3}
+}
+
+// Name implements Measure.
+func (m *EigenspaceInstability) Name() string { return "eigenspace-instability" }
+
+// Distance implements Measure.
+func (m *EigenspaceInstability) Distance(x, xt *embedding.Embedding) float64 {
+	n := x.Rows()
+	if xt.Rows() != n || m.E.Rows() != n || m.ETilde.Rows() != n {
+		panic("core: EigenspaceInstability row mismatch")
+	}
+	u := thinSVD(x).U
+	ut := thinSVD(xt).U
+
+	num := 0.0
+	den := 0.0
+	for _, anchor := range []*embedding.Embedding{m.E, m.ETilde} {
+		s := thinSVD(anchor)
+		// Scale V's columns by σ^α: VRα has shape n-by-r.
+		vra := s.U.Clone() // left singular vectors of the anchor (n-by-r)
+		for i := 0; i < vra.Rows; i++ {
+			row := vra.Row(i)
+			for j := range row {
+				row[j] *= math.Pow(s.S[j], m.Alpha)
+			}
+		}
+		uv := matrix.MulATB(u, vra)   // Uᵀ V Rα  (d-by-r)
+		utv := matrix.MulATB(ut, vra) // Ũᵀ V Rα  (k-by-r)
+		uut := matrix.MulATB(ut, u)   // Ũᵀ U    (k-by-d)
+
+		fuv := uv.FrobNorm()
+		futv := utv.FrobNorm()
+		num += fuv*fuv + futv*futv
+
+		// −2 tr(Rα Vᵀ Ũ Ũᵀ U Uᵀ V Rα) = −2 tr((Ũᵀ V Rα)ᵀ (ŨᵀU)(Uᵀ V Rα)).
+		mid := matrix.Mul(uut, uv) // k-by-r
+		var tr float64
+		for i := range mid.Data {
+			tr += mid.Data[i] * utv.Data[i]
+		}
+		num -= 2 * tr
+
+		for _, sv := range s.S {
+			den += math.Pow(sv, 2*m.Alpha)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	v := num / den
+	if v < 0 {
+		v = 0 // numerical guard: the trace is provably nonnegative
+	}
+	return v
+}
+
+// NaiveDistance computes the eigenspace instability measure directly from
+// Definition 2, materializing the n-by-n matrices. It exists to validate
+// the efficient implementation and for small-n experimentation.
+func (m *EigenspaceInstability) NaiveDistance(x, xt *embedding.Embedding) float64 {
+	n := x.Rows()
+	u := thinSVD(x).U
+	ut := thinSVD(xt).U
+
+	sigma := matrix.NewDense(n, n)
+	for _, anchor := range []*embedding.Embedding{m.E, m.ETilde} {
+		s := thinSVD(anchor)
+		va := s.U.Clone()
+		for i := 0; i < va.Rows; i++ {
+			row := va.Row(i)
+			for j := range row {
+				row[j] *= math.Pow(s.S[j], m.Alpha)
+			}
+		}
+		sigma.Add(matrix.MulABT(va, va))
+	}
+
+	uut := matrix.MulABT(u, u)
+	utut := matrix.MulABT(ut, ut)
+	inner := uut.Clone().Add(utut).Sub(matrix.Mul(utut, uut).Scale(2))
+	prod := matrix.Mul(inner, sigma)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		num += prod.At(i, i)
+		den += sigma.At(i, i)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// AllMeasures returns the paper's five measures in reporting order, with
+// the given anchors for the eigenspace instability measure.
+func AllMeasures(e, eTilde *embedding.Embedding) []Measure {
+	return []Measure{
+		NewEigenspaceInstability(e, eTilde),
+		NewKNN(),
+		SemanticDisplacement{},
+		PIPLoss{},
+		EigenspaceOverlap{},
+	}
+}

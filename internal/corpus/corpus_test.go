@@ -1,0 +1,180 @@
+package corpus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := TestConfig()
+	a := Generate(cfg, Wiki17)
+	b := Generate(cfg, Wiki17)
+	if a.Tokens != b.Tokens || len(a.Sentences) != len(b.Sentences) {
+		t.Fatalf("nondeterministic shape: %d/%d vs %d/%d", a.Tokens, len(a.Sentences), b.Tokens, len(b.Sentences))
+	}
+	for i := range a.Sentences {
+		for j := range a.Sentences[i] {
+			if a.Sentences[i][j] != b.Sentences[i][j] {
+				t.Fatalf("sentence %d token %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestWiki18DiffersButSimilar(t *testing.T) {
+	cfg := TestConfig()
+	a := Generate(cfg, Wiki17)
+	b := Generate(cfg, Wiki18)
+	if b.Docs <= a.Docs {
+		t.Fatalf("Wiki18 should have more documents (extra docs): %d vs %d", b.Docs, a.Docs)
+	}
+	// The snapshots should be distributionally close but not identical:
+	// total variation distance between unigram distributions small yet > 0.
+	var tv float64
+	for w := range a.Counts {
+		pa := float64(a.Counts[w]) / float64(a.Tokens)
+		pb := float64(b.Counts[w]) / float64(b.Tokens)
+		if pa > pb {
+			tv += pa - pb
+		} else {
+			tv += pb - pa
+		}
+	}
+	tv /= 2
+	if tv == 0 {
+		t.Fatal("corpora have identical unigram distributions; no drift")
+	}
+	if tv > 0.25 {
+		t.Fatalf("corpora too different: unigram TV distance %.3f", tv)
+	}
+}
+
+func TestVocabSharedAcrossYears(t *testing.T) {
+	cfg := TestConfig()
+	a := Generate(cfg, Wiki17)
+	b := Generate(cfg, Wiki18)
+	if a.Vocab.Size() != b.Vocab.Size() {
+		t.Fatal("vocab size differs across years")
+	}
+	for i, w := range a.Vocab.Words {
+		if b.Vocab.Words[i] != w {
+			t.Fatalf("vocab word %d differs: %q vs %q", i, w, b.Vocab.Words[i])
+		}
+	}
+}
+
+func TestVocabWellFormed(t *testing.T) {
+	cfg := TestConfig()
+	v := BuildVocab(cfg)
+	if v.Size() != cfg.VocabSize {
+		t.Fatalf("vocab size %d != %d", v.Size(), cfg.VocabSize)
+	}
+	seen := map[string]bool{}
+	for i, w := range v.Words {
+		if w == "" {
+			t.Fatal("empty word")
+		}
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if v.Index[w] != i {
+			t.Fatalf("index mismatch for %q", w)
+		}
+	}
+}
+
+func TestCountsConsistent(t *testing.T) {
+	cfg := TestConfig()
+	c := Generate(cfg, Wiki17)
+	var total int64
+	counts := make([]int64, cfg.VocabSize)
+	for _, s := range c.Sentences {
+		for _, w := range s {
+			counts[w]++
+			total++
+		}
+	}
+	if total != c.Tokens {
+		t.Fatalf("token count mismatch: %d vs %d", total, c.Tokens)
+	}
+	for i := range counts {
+		if counts[i] != c.Counts[i] {
+			t.Fatalf("count mismatch for word %d", i)
+		}
+	}
+}
+
+func TestZipfLikeFrequencies(t *testing.T) {
+	cfg := TestConfig()
+	c := Generate(cfg, Wiki17)
+	top := c.TopWords(cfg.VocabSize)
+	// Top decile should carry far more mass than bottom decile.
+	dec := cfg.VocabSize / 10
+	var topMass, botMass int64
+	for _, w := range top[:dec] {
+		topMass += c.Counts[w]
+	}
+	for _, w := range top[len(top)-dec:] {
+		botMass += c.Counts[w]
+	}
+	if topMass < 10*botMass {
+		t.Fatalf("frequencies not skewed enough: top=%d bottom=%d", topMass, botMass)
+	}
+}
+
+func TestTopWordsOrdering(t *testing.T) {
+	cfg := TestConfig()
+	c := Generate(cfg, Wiki17)
+	top := c.TopWords(50)
+	if len(top) != 50 {
+		t.Fatalf("TopWords returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if c.Counts[top[i]] > c.Counts[top[i-1]] {
+			t.Fatal("TopWords not sorted by count")
+		}
+	}
+}
+
+func TestPrimaryTopicInRangeProperty(t *testing.T) {
+	cfg := TestConfig()
+	f := func(w uint16) bool {
+		id := int(w) % cfg.VocabSize
+		t17 := PrimaryTopic(cfg, id, Wiki17)
+		t18 := PrimaryTopic(cfg, id, Wiki18)
+		return t17 >= 0 && t17 < cfg.NumTopics && t18 >= 0 && t18 < cfg.NumTopics
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopicDriftIsSmall(t *testing.T) {
+	cfg := TestConfig()
+	changed := 0
+	for w := 0; w < cfg.VocabSize; w++ {
+		if PrimaryTopic(cfg, w, Wiki17) != PrimaryTopic(cfg, w, Wiki18) {
+			changed++
+		}
+	}
+	frac := float64(changed) / float64(cfg.VocabSize)
+	if frac > 3*cfg.Drift.WordShiftFrac+0.02 {
+		t.Fatalf("too many words shifted topic: %.3f", frac)
+	}
+}
+
+func TestSentenceLengthBounds(t *testing.T) {
+	cfg := TestConfig()
+	c := Generate(cfg, Wiki17)
+	for _, s := range c.Sentences {
+		if len(s) < cfg.SentLenMin || len(s) > cfg.SentLenMax {
+			t.Fatalf("sentence length %d out of [%d,%d]", len(s), cfg.SentLenMin, cfg.SentLenMax)
+		}
+		for _, w := range s {
+			if w < 0 || int(w) >= cfg.VocabSize {
+				t.Fatalf("word id %d out of range", w)
+			}
+		}
+	}
+}

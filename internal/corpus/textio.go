@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteText writes the corpus as whitespace-tokenized text, one sentence
+// per line — the input format of the original word2vec/GloVe tools, so
+// embeddings trained by external implementations stay comparable.
+func (c *Corpus) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, sent := range c.Sentences {
+		for i, tok := range sent {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return fmt.Errorf("corpus: write: %w", err)
+				}
+			}
+			if _, err := bw.WriteString(c.Vocab.Words[tok]); err != nil {
+				return fmt.Errorf("corpus: write: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("corpus: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// FromText builds a corpus from whitespace-tokenized text (one sentence
+// per line), keeping words that occur at least minCount times. This is
+// how the library consumes REAL corpora instead of the synthetic
+// generator: pipe in any pre-processed Wikipedia dump and the rest of the
+// pipeline (training, compression, measures, downstream tasks that take a
+// corpus) works unchanged.
+//
+// Word ids are assigned by descending frequency (ties broken
+// lexicographically), so id order equals frequency rank.
+func FromText(r io.Reader, minCount int) (*Corpus, error) {
+	if minCount < 1 {
+		minCount = 1
+	}
+	counts := map[string]int64{}
+	var lines [][]string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		lines = append(lines, fields)
+		for _, w := range fields {
+			counts[w]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: read: %w", err)
+	}
+
+	type wc struct {
+		w string
+		n int64
+	}
+	kept := make([]wc, 0, len(counts))
+	for w, n := range counts {
+		if n >= int64(minCount) {
+			kept = append(kept, wc{w, n})
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("corpus: no words with count >= %d", minCount)
+	}
+	sort.Slice(kept, func(a, b int) bool {
+		if kept[a].n != kept[b].n {
+			return kept[a].n > kept[b].n
+		}
+		return kept[a].w < kept[b].w
+	})
+
+	vocab := &Vocab{Words: make([]string, len(kept)), Index: make(map[string]int, len(kept))}
+	for i, k := range kept {
+		vocab.Words[i] = k.w
+		vocab.Index[k.w] = i
+	}
+
+	c := &Corpus{Vocab: vocab, Counts: make([]int64, len(kept))}
+	for _, fields := range lines {
+		sent := make([]int32, 0, len(fields))
+		for _, w := range fields {
+			id, ok := vocab.Index[w]
+			if !ok {
+				continue // below min count
+			}
+			sent = append(sent, int32(id))
+			c.Counts[id]++
+			c.Tokens++
+		}
+		if len(sent) > 0 {
+			c.Sentences = append(c.Sentences, sent)
+			c.Docs++
+		}
+	}
+	return c, nil
+}

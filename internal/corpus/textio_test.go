@@ -1,0 +1,88 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteTextRoundTrip(t *testing.T) {
+	cfg := TestConfig()
+	orig := Generate(cfg, Wiki17)
+	var buf bytes.Buffer
+	if err := orig.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromText(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tokens != orig.Tokens {
+		t.Fatalf("token count %d != %d after round trip", got.Tokens, orig.Tokens)
+	}
+	if len(got.Sentences) != len(orig.Sentences) {
+		t.Fatalf("sentence count %d != %d", len(got.Sentences), len(orig.Sentences))
+	}
+	// Word ids change (frequency-ranked), but the word strings per
+	// position must be identical.
+	for i := range orig.Sentences {
+		for j := range orig.Sentences[i] {
+			wOrig := orig.Vocab.Words[orig.Sentences[i][j]]
+			wGot := got.Vocab.Words[got.Sentences[i][j]]
+			if wOrig != wGot {
+				t.Fatalf("sentence %d token %d: %q != %q", i, j, wOrig, wGot)
+			}
+		}
+	}
+}
+
+func TestFromTextFrequencyRankedIDs(t *testing.T) {
+	text := "a a a b b c\na b\n"
+	c, err := FromText(strings.NewReader(text), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Vocab.Words[0] != "a" || c.Vocab.Words[1] != "b" || c.Vocab.Words[2] != "c" {
+		t.Fatalf("vocab not frequency ranked: %v", c.Vocab.Words)
+	}
+	if c.Counts[0] != 4 || c.Counts[1] != 3 || c.Counts[2] != 1 {
+		t.Fatalf("counts wrong: %v", c.Counts)
+	}
+	if c.Docs != 2 || c.Tokens != 8 {
+		t.Fatalf("docs=%d tokens=%d", c.Docs, c.Tokens)
+	}
+}
+
+func TestFromTextMinCount(t *testing.T) {
+	text := "a a b\nb c\n"
+	c, err := FromText(strings.NewReader(text), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Vocab.Size() != 2 {
+		t.Fatalf("vocab size %d, want 2 (c dropped)", c.Vocab.Size())
+	}
+	if _, ok := c.Vocab.Index["c"]; ok {
+		t.Fatal("rare word kept")
+	}
+	// Sentences keep only retained words.
+	if len(c.Sentences[1]) != 1 {
+		t.Fatalf("second sentence should shrink to 1 token: %v", c.Sentences[1])
+	}
+}
+
+func TestFromTextEmpty(t *testing.T) {
+	if _, err := FromText(strings.NewReader(""), 1); err == nil {
+		t.Fatal("expected error for empty corpus")
+	}
+}
+
+func TestFromTextSkipsBlankLines(t *testing.T) {
+	c, err := FromText(strings.NewReader("a b\n\n\nb a\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sentences) != 2 {
+		t.Fatalf("got %d sentences, want 2", len(c.Sentences))
+	}
+}

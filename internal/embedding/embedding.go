@@ -1,0 +1,159 @@
+// Package embedding defines the embedding container shared by every
+// trainer and consumer in anchor: a dense matrix of word vectors tied to a
+// vocabulary, with persistence, orthogonal Procrustes alignment (the paper
+// aligns every Wiki'17/Wiki'18 pair before compressing and training
+// downstream models), normalization, and frequency-based row slicing.
+package embedding
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"anchor/internal/matrix"
+)
+
+// Embedding is a vocabulary-aligned word embedding matrix. Row i is the
+// vector for word id i; the id space is shared across corpus snapshots so
+// rows of two embeddings are directly comparable.
+type Embedding struct {
+	// Vectors is the n-by-d matrix of word vectors.
+	Vectors *matrix.Dense
+	// Words maps row -> word string (may be nil when only ids matter).
+	Words []string
+	// Meta records how the embedding was produced.
+	Meta Meta
+}
+
+// Meta describes an embedding's provenance, used for caching and reporting.
+type Meta struct {
+	Algorithm string // "cbow", "glove", "mc", "fasttext"
+	Corpus    string // e.g. "wiki17"
+	Dim       int
+	Seed      int64
+	Precision int // bits per entry; 32 means uncompressed
+}
+
+// String renders the provenance as a stable identifier.
+func (m Meta) String() string {
+	return fmt.Sprintf("%s-%s-d%d-s%d-b%d", m.Algorithm, m.Corpus, m.Dim, m.Seed, m.Precision)
+}
+
+// New returns a zeroed embedding with n rows of dimension d.
+func New(n, d int) *Embedding {
+	return &Embedding{Vectors: matrix.NewDense(n, d)}
+}
+
+// Rows returns the vocabulary size.
+func (e *Embedding) Rows() int { return e.Vectors.Rows }
+
+// Dim returns the vector dimensionality.
+func (e *Embedding) Dim() int { return e.Vectors.Cols }
+
+// Vector returns the vector for word id i (shared storage).
+func (e *Embedding) Vector(i int) []float64 { return e.Vectors.Row(i) }
+
+// Clone returns a deep copy of the embedding.
+func (e *Embedding) Clone() *Embedding {
+	c := &Embedding{Vectors: e.Vectors.Clone(), Meta: e.Meta}
+	if e.Words != nil {
+		c.Words = append([]string(nil), e.Words...)
+	}
+	return c
+}
+
+// SubRows returns a new embedding containing only the given word ids, in
+// order. The paper computes distance measures over the top-10k most
+// frequent words; this is the slicing primitive for that.
+func (e *Embedding) SubRows(ids []int) *Embedding {
+	out := New(len(ids), e.Dim())
+	out.Meta = e.Meta
+	if e.Words != nil {
+		out.Words = make([]string, len(ids))
+	}
+	for r, id := range ids {
+		copy(out.Vectors.Row(r), e.Vectors.Row(id))
+		if e.Words != nil {
+			out.Words[r] = e.Words[id]
+		}
+	}
+	return out
+}
+
+// AlignTo rotates e in place with the orthogonal Procrustes solution so
+// that it best matches ref in Frobenius norm: e <- e * R where
+// R = argmin_Ω ||ref - e*Ω||_F subject to ΩᵀΩ = I (Schönemann 1966).
+// Both embeddings must have identical shape.
+func (e *Embedding) AlignTo(ref *Embedding) {
+	if e.Rows() != ref.Rows() || e.Dim() != ref.Dim() {
+		panic("embedding: AlignTo shape mismatch")
+	}
+	r := matrix.Procrustes(ref.Vectors, e.Vectors)
+	e.Vectors = matrix.Mul(e.Vectors, r)
+}
+
+// gobEmbedding is the serialized form.
+type gobEmbedding struct {
+	Rows, Cols int
+	Data       []float64
+	Words      []string
+	Meta       Meta
+}
+
+// Save writes the embedding to w in gob format.
+func (e *Embedding) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(gobEmbedding{
+		Rows: e.Rows(), Cols: e.Dim(), Data: e.Vectors.Data, Words: e.Words, Meta: e.Meta,
+	})
+}
+
+// Load reads an embedding previously written by Save.
+func Load(r io.Reader) (*Embedding, error) {
+	var g gobEmbedding
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("embedding: decode: %w", err)
+	}
+	if len(g.Data) != g.Rows*g.Cols {
+		return nil, fmt.Errorf("embedding: corrupt payload: %d values for %dx%d", len(g.Data), g.Rows, g.Cols)
+	}
+	return &Embedding{
+		Vectors: matrix.NewDenseData(g.Rows, g.Cols, g.Data),
+		Words:   g.Words,
+		Meta:    g.Meta,
+	}, nil
+}
+
+// SaveFile writes the embedding to path, creating or truncating it.
+func (e *Embedding) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("embedding: %w", err)
+	}
+	defer f.Close()
+	if err := e.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads an embedding from path.
+func LoadFile(path string) (*Embedding, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("embedding: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// MemoryBitsPerWord returns the paper's memory axis for this embedding:
+// dimension times precision in bits. An uncompressed embedding has
+// precision 32.
+func (e *Embedding) MemoryBitsPerWord() int {
+	b := e.Meta.Precision
+	if b == 0 {
+		b = 32
+	}
+	return e.Dim() * b
+}

@@ -1,0 +1,86 @@
+package embedding
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"anchor/internal/matrix"
+)
+
+// WriteText writes the embedding in the word2vec text format: a header
+// line "<rows> <dim>" followed by one "<word> v1 v2 ..." line per word,
+// so vectors interoperate with standard NLP tooling. Embeddings without
+// word strings use "w<id>" placeholders.
+func (e *Embedding) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", e.Rows(), e.Dim()); err != nil {
+		return fmt.Errorf("embedding: write text: %w", err)
+	}
+	for i := 0; i < e.Rows(); i++ {
+		word := fmt.Sprintf("w%d", i)
+		if e.Words != nil {
+			word = e.Words[i]
+		}
+		if _, err := bw.WriteString(word); err != nil {
+			return fmt.Errorf("embedding: write text: %w", err)
+		}
+		for _, v := range e.Vector(i) {
+			if _, err := fmt.Fprintf(bw, " %g", v); err != nil {
+				return fmt.Errorf("embedding: write text: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("embedding: write text: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the word2vec text format written by WriteText (and by
+// the original word2vec/GloVe/fastText tools).
+func ReadText(r io.Reader) (*Embedding, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("embedding: read text: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 {
+		return nil, fmt.Errorf("embedding: read text: bad header %q", sc.Text())
+	}
+	rows, err := strconv.Atoi(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("embedding: read text: bad row count: %w", err)
+	}
+	dim, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("embedding: read text: bad dimension: %w", err)
+	}
+	if rows <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("embedding: read text: nonpositive shape %dx%d", rows, dim)
+	}
+
+	e := &Embedding{Vectors: matrix.NewDense(rows, dim), Words: make([]string, rows)}
+	for i := 0; i < rows; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("embedding: read text: expected %d rows, got %d", rows, i)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != dim+1 {
+			return nil, fmt.Errorf("embedding: read text: row %d has %d fields, want %d", i, len(fields), dim+1)
+		}
+		e.Words[i] = fields[0]
+		row := e.Vectors.Row(i)
+		for j, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("embedding: read text: row %d col %d: %w", i, j, err)
+			}
+			row[j] = v
+		}
+	}
+	return e, sc.Err()
+}

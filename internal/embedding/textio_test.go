@@ -1,0 +1,73 @@
+package embedding
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	e := randomEmbedding(5, 3, 1)
+	e.Words = []string{"alpha", "beta", "gamma", "delta", "eps"}
+	var buf bytes.Buffer
+	if err := e.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 5 || got.Dim() != 3 {
+		t.Fatalf("shape %dx%d", got.Rows(), got.Dim())
+	}
+	for i := 0; i < 5; i++ {
+		if got.Words[i] != e.Words[i] {
+			t.Fatalf("word %d: %q != %q", i, got.Words[i], e.Words[i])
+		}
+		for j := 0; j < 3; j++ {
+			if math.Abs(got.Vectors.At(i, j)-e.Vectors.At(i, j)) > 1e-12 {
+				t.Fatalf("value (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestWriteTextPlaceholderWords(t *testing.T) {
+	e := randomEmbedding(2, 2, 2)
+	var buf bytes.Buffer
+	if err := e.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "w0 ") || !strings.Contains(buf.String(), "w1 ") {
+		t.Fatalf("placeholder words missing:\n%s", buf.String())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "x y\n",
+		"neg shape":    "-1 3\n",
+		"short rows":   "2 2\nfoo 1 2\n",
+		"wrong fields": "1 3\nfoo 1 2\n",
+		"bad float":    "1 2\nfoo 1 x\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadText(strings.NewReader(input)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadTextWord2vecStyle(t *testing.T) {
+	// Hand-written file in the classic format.
+	in := "2 3\nking 0.1 0.2 0.3\nqueen -0.1 -0.2 -0.3\n"
+	e, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Words[0] != "king" || e.Vectors.At(1, 2) != -0.3 {
+		t.Fatal("parse mismatch")
+	}
+}

@@ -1,0 +1,128 @@
+package embtrain
+
+import (
+	"math/rand"
+
+	"anchor/internal/corpus"
+	"anchor/internal/embedding"
+	"anchor/internal/floats"
+)
+
+// CBOW trains continuous bag-of-words embeddings with negative sampling
+// (Mikolov et al. 2013): the averaged context window predicts the center
+// word. This mirrors the word2vec implementation the paper uses.
+type CBOW struct {
+	// Window is the maximum context half-width; per position the effective
+	// width is sampled uniformly from [1, Window] as in word2vec.
+	Window int
+	// Negatives is the number of negative samples per center word.
+	Negatives int
+	// Epochs is the number of passes over the corpus.
+	Epochs int
+	// LR is the initial learning rate, decayed linearly to LR/10000.
+	LR float64
+	// NegPower is the unigram distribution exponent (0.75 in word2vec).
+	NegPower float64
+}
+
+// NewCBOW returns a CBOW trainer with repro-scale defaults (the paper's
+// hyperparameters, with window and epochs scaled to the synthetic corpus).
+func NewCBOW() *CBOW {
+	return &CBOW{Window: 5, Negatives: 5, Epochs: 12, LR: 0.1, NegPower: 0.75}
+}
+
+// Name implements Trainer.
+func (t *CBOW) Name() string { return "cbow" }
+
+// Train implements Trainer.
+func (t *CBOW) Train(c *corpus.Corpus, dim int, seed int64) *embedding.Embedding {
+	n := c.Vocab.Size()
+	rng := rand.New(rand.NewSource(seed))
+	e := embedding.New(n, dim)
+	e.Words = c.Vocab.Words
+	e.Meta = embedding.Meta{
+		Algorithm: t.Name(), Corpus: corpusName(c), Dim: dim, Seed: seed, Precision: 32,
+	}
+	initMatrix(e.Vectors.Data, dim, rng)
+	out := make([]float64, n*dim) // output (context->center) matrix, zero-initialized
+
+	table := newUnigramTable(c.Counts, t.NegPower)
+	total := float64(t.Epochs) * float64(c.Tokens)
+	processed := 0.0
+	h := make([]float64, dim)    // averaged context vector
+	grad := make([]float64, dim) // gradient accumulated for the context
+
+	for epoch := 0; epoch < t.Epochs; epoch++ {
+		order := shuffledOrder(len(c.Sentences), rng)
+		for _, si := range order {
+			sent := c.Sentences[si]
+			for pos, center := range sent {
+				lr := t.LR * (1 - processed/total)
+				if lr < t.LR*1e-4 {
+					lr = t.LR * 1e-4
+				}
+				processed++
+
+				b := 1 + rng.Intn(t.Window) // effective half-width
+				floats.Fill(h, 0)
+				count := 0
+				for off := -b; off <= b; off++ {
+					if off == 0 {
+						continue
+					}
+					p := pos + off
+					if p < 0 || p >= len(sent) {
+						continue
+					}
+					floats.Add(h, e.Vectors.Row(int(sent[p])))
+					count++
+				}
+				if count == 0 {
+					continue
+				}
+				floats.Scale(1/float64(count), h)
+				floats.Fill(grad, 0)
+
+				for k := 0; k <= t.Negatives; k++ {
+					var target int32
+					var label float64
+					if k == 0 {
+						target, label = center, 1
+					} else {
+						target = table.sample(rng)
+						if target == center {
+							continue
+						}
+						label = 0
+					}
+					row := out[int(target)*dim : (int(target)+1)*dim]
+					g := (label - sigmoid(floats.Dot(h, row))) * lr
+					floats.Axpy(g, row, grad)
+					floats.Axpy(g, h, row)
+				}
+				gScale := 1 / float64(count)
+				for off := -b; off <= b; off++ {
+					if off == 0 {
+						continue
+					}
+					p := pos + off
+					if p < 0 || p >= len(sent) {
+						continue
+					}
+					floats.Axpy(gScale, grad, e.Vectors.Row(int(sent[p])))
+				}
+			}
+		}
+	}
+	return e
+}
+
+func corpusName(c *corpus.Corpus) string {
+	switch c.Year {
+	case corpus.Wiki17:
+		return "wiki17"
+	case corpus.Wiki18:
+		return "wiki18"
+	}
+	return "corpus"
+}

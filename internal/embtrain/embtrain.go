@@ -1,0 +1,123 @@
+// Package embtrain implements the word embedding algorithms studied in the
+// paper, from scratch on the synthetic corpora: CBOW with negative sampling
+// (word2vec), GloVe, online matrix completion on PPMI (MC), and the
+// fastText-style subword skipgram used in Appendix E.1.
+//
+// Every trainer is deterministic given (corpus, dim, seed): training runs
+// single-threaded with a seeded RNG, so embedding instability in the
+// experiments comes only from the modelled sources (corpus drift and the
+// explicit seed), matching the paper's controlled setup.
+package embtrain
+
+import (
+	"math"
+	"math/rand"
+
+	"anchor/internal/corpus"
+	"anchor/internal/embedding"
+)
+
+// Trainer is the common interface implemented by all embedding algorithms.
+type Trainer interface {
+	// Train learns an embedding of the given dimension from the corpus.
+	Train(c *corpus.Corpus, dim int, seed int64) *embedding.Embedding
+	// Name returns the algorithm identifier used in Meta and reports.
+	Name() string
+}
+
+// ByName returns the trainer with default configuration for the given
+// algorithm name ("cbow", "glove", "mc", or "fasttext"); ok is false for
+// unknown names.
+func ByName(name string) (Trainer, bool) {
+	switch name {
+	case "cbow":
+		return NewCBOW(), true
+	case "glove":
+		return NewGloVe(), true
+	case "mc":
+		return NewMC(), true
+	case "fasttext":
+		return NewFastText(), true
+	}
+	return nil, false
+}
+
+// unigramTable is the word2vec-style negative sampling table: words are
+// drawn proportionally to count^power.
+type unigramTable struct {
+	table []int32
+}
+
+const unigramTableSize = 1 << 17
+
+func newUnigramTable(counts []int64, power float64) *unigramTable {
+	var z float64
+	for _, c := range counts {
+		if c > 0 {
+			z += math.Pow(float64(c), power)
+		}
+	}
+	t := &unigramTable{table: make([]int32, 0, unigramTableSize)}
+	if z == 0 {
+		t.table = append(t.table, 0)
+		return t
+	}
+	// Standard word2vec table fill: word w occupies a contiguous stretch
+	// proportional to count^power / z.
+	next := func(w int) int {
+		w++
+		for w < len(counts) && counts[w] == 0 {
+			w++
+		}
+		return w
+	}
+	w := next(-1)
+	if w >= len(counts) {
+		t.table = append(t.table, 0)
+		return t
+	}
+	cum := math.Pow(float64(counts[w]), power) / z
+	for i := 0; i < unigramTableSize; i++ {
+		t.table = append(t.table, int32(w))
+		if float64(i+1)/unigramTableSize > cum {
+			if nw := next(w); nw < len(counts) {
+				w = nw
+				cum += math.Pow(float64(counts[w]), power) / z
+			}
+		}
+	}
+	return t
+}
+
+func (t *unigramTable) sample(rng *rand.Rand) int32 {
+	return t.table[rng.Intn(len(t.table))]
+}
+
+// sigmoid returns 1/(1+exp(-x)) with clamping for numerical robustness.
+func sigmoid(x float64) float64 {
+	if x > 30 {
+		return 1
+	}
+	if x < -30 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// initMatrix fills data with the word2vec initialization: uniform in
+// (-0.5/dim, 0.5/dim).
+func initMatrix(data []float64, dim int, rng *rand.Rand) {
+	for i := range data {
+		data[i] = (rng.Float64() - 0.5) / float64(dim)
+	}
+}
+
+// shuffledOrder returns a seeded permutation of [0, n).
+func shuffledOrder(n int, rng *rand.Rand) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}

@@ -1,0 +1,111 @@
+package embtrain
+
+import (
+	"math"
+	"math/rand"
+
+	"anchor/internal/cooc"
+	"anchor/internal/corpus"
+	"anchor/internal/embedding"
+	"anchor/internal/floats"
+)
+
+// GloVe trains embeddings by weighted least-squares factorization of the
+// log co-occurrence matrix (Pennington et al. 2014) with AdaGrad, modeling
+// word and context vectors plus bias terms separately; the returned
+// embedding is the standard sum of word and context vectors.
+type GloVe struct {
+	// Window is the co-occurrence half-window; counts are weighted 1/distance.
+	Window int
+	// Epochs is the number of AdaGrad passes over the nonzero entries.
+	Epochs int
+	// LR is the AdaGrad learning rate.
+	LR float64
+	// XMax and Alpha parameterize the weighting f(x) = min(1, (x/XMax)^Alpha).
+	XMax  float64
+	Alpha float64
+}
+
+// NewGloVe returns a GloVe trainer with repro-scale defaults. The paper
+// uses lr=0.01, xmax=100, alpha=0.75 on 4.5B tokens; xmax is scaled to the
+// synthetic corpus so the weighting still saturates.
+func NewGloVe() *GloVe {
+	return &GloVe{Window: 5, Epochs: 25, LR: 0.05, XMax: 20, Alpha: 0.75}
+}
+
+// Name implements Trainer.
+func (t *GloVe) Name() string { return "glove" }
+
+// Train implements Trainer.
+func (t *GloVe) Train(c *corpus.Corpus, dim int, seed int64) *embedding.Embedding {
+	counts := cooc.Count(c, t.Window, cooc.InverseDistance)
+	n := c.Vocab.Size()
+	rng := rand.New(rand.NewSource(seed))
+
+	w := make([]float64, n*dim)  // word vectors
+	wc := make([]float64, n*dim) // context vectors
+	b := make([]float64, n)      // word biases
+	bc := make([]float64, n)     // context biases
+	initMatrix(w, dim, rng)
+	initMatrix(wc, dim, rng)
+
+	// AdaGrad accumulators, initialized to 1 as in the reference implementation.
+	gw := make([]float64, n*dim)
+	gwc := make([]float64, n*dim)
+	gb := make([]float64, n)
+	gbc := make([]float64, n)
+	for i := range gw {
+		gw[i], gwc[i] = 1, 1
+	}
+	for i := range gb {
+		gb[i], gbc[i] = 1, 1
+	}
+
+	update := func(i, j int32, x float64) {
+		wi := w[int(i)*dim : (int(i)+1)*dim]
+		cj := wc[int(j)*dim : (int(j)+1)*dim]
+		diff := floats.Dot(wi, cj) + b[i] + bc[j] - math.Log(x)
+		f := 1.0
+		if x < t.XMax {
+			f = math.Pow(x/t.XMax, t.Alpha)
+		}
+		g := f * diff
+		for k := 0; k < dim; k++ {
+			gwk := g * cj[k]
+			gck := g * wi[k]
+			idxW := int(i)*dim + k
+			idxC := int(j)*dim + k
+			wi[k] -= t.LR * gwk / math.Sqrt(gw[idxW])
+			cj[k] -= t.LR * gck / math.Sqrt(gwc[idxC])
+			gw[idxW] += gwk * gwk
+			gwc[idxC] += gck * gck
+		}
+		b[i] -= t.LR * g / math.Sqrt(gb[i])
+		bc[j] -= t.LR * g / math.Sqrt(gbc[j])
+		gb[i] += g * g
+		gbc[j] += g * g
+	}
+
+	for epoch := 0; epoch < t.Epochs; epoch++ {
+		order := shuffledOrder(counts.NNZ(), rng)
+		for _, ei := range order {
+			e := counts.Entries[ei]
+			// The sparse matrix stores each unordered pair once; train both
+			// directions so word and context roles are symmetric.
+			update(e.Row, e.Col, e.Val)
+			if e.Row != e.Col {
+				update(e.Col, e.Row, e.Val)
+			}
+		}
+	}
+
+	e := embedding.New(n, dim)
+	e.Words = c.Vocab.Words
+	e.Meta = embedding.Meta{
+		Algorithm: t.Name(), Corpus: corpusName(c), Dim: dim, Seed: seed, Precision: 32,
+	}
+	for i := 0; i < n*dim; i++ {
+		e.Vectors.Data[i] = w[i] + wc[i]
+	}
+	return e
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"anchor/internal/bert"
+	"anchor/internal/compress"
+	"anchor/internal/core"
+	"anchor/internal/matrix"
+	"anchor/internal/nn"
+	"anchor/internal/tasks/sentiment"
+
+	ad "anchor/internal/autodiff"
+)
+
+// bertFeatures extracts mean-pooled frozen features for a dataset split.
+func bertFeatures(m *bert.Model, examples []sentiment.Example) *matrix.Dense {
+	out := matrix.NewDense(len(examples), m.Cfg.Hidden)
+	for i, ex := range examples {
+		copy(out.Row(i), m.SentenceFeature(ex.Tokens))
+	}
+	return out
+}
+
+// trainFeatureClassifier trains a linear softmax classifier on fixed
+// feature rows (the linear layer the paper trains on BERT outputs).
+func trainFeatureClassifier(x *matrix.Dense, labels []int, seed int64) *nn.Linear {
+	rng := rand.New(rand.NewSource(seed))
+	lin := nn.NewLinear("clf", x.Cols, 2, rng)
+	opt := nn.NewAdam(0.01)
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	const batch = 32
+	for epoch := 0; epoch < 30; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for s := 0; s < len(idx); s += batch {
+			e := s + batch
+			if e > len(idx) {
+				e = len(idx)
+			}
+			bx := matrix.NewDense(e-s, x.Cols)
+			by := make([]int, e-s)
+			for i := s; i < e; i++ {
+				copy(bx.Row(i-s), x.Row(idx[i]))
+				by[i-s] = labels[idx[i]]
+			}
+			tp := ad.NewTape()
+			loss := tp.CrossEntropy(lin.Forward(tp, tp.Const(bx)), by)
+			tp.Backward(loss)
+			opt.Step(lin.Params())
+		}
+	}
+	return lin
+}
+
+func classify(lin *nn.Linear, x *matrix.Dense) []int {
+	tp := ad.NewTape()
+	logits := lin.Forward(tp, tp.Const(x)).Value
+	out := make([]int, x.Rows)
+	for i := range out {
+		if logits.At(i, 1) > logits.At(i, 0) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Fig11 reproduces Appendix Figure 11 (referenced from Section 6.2):
+// downstream instability of frozen BERT features on sentiment analysis,
+// (a) as the transformer output dimension varies and (b) as the features
+// are quantized to different precisions.
+func Fig11(r *Runner) []*Table {
+	c17, c18 := r.Corpora()
+	ds := r.SentimentData(r.Cfg.SentimentTasks[0])
+	labels := func(ex []sentiment.Example) []int {
+		out := make([]int, len(ex))
+		for i, e := range ex {
+			out[i] = e.Label
+		}
+		return out
+	}
+	trainY, testY := labels(ds.Train), labels(ds.Test)
+
+	dimT := &Table{
+		ID: "fig11", Title: "BERT instability vs output dimension (" + ds.Name + ")",
+		Columns: []string{"hidden", "seed-avg %disagreement", "wiki17 accuracy"},
+	}
+	precT := &Table{
+		ID: "fig11", Title: "BERT instability vs feature precision (" + ds.Name + ")",
+		Columns: []string{"hidden", "precision", "seed-avg %disagreement"},
+	}
+
+	for _, hidden := range r.Cfg.BERTHiddens {
+		var diSum, accSum float64
+		precSums := map[int]float64{}
+		for _, seed := range r.Cfg.BERTSeeds {
+			m17 := bert.Pretrain(c17, bert.DefaultConfig(hidden, seed))
+			m18 := bert.Pretrain(c18, bert.DefaultConfig(hidden, seed))
+			tr17, tr18 := bertFeatures(m17, ds.Train), bertFeatures(m18, ds.Train)
+			te17, te18 := bertFeatures(m17, ds.Test), bertFeatures(m18, ds.Test)
+
+			l17 := trainFeatureClassifier(tr17, trainY, seed)
+			l18 := trainFeatureClassifier(tr18, trainY, seed)
+			diSum += core.PredictionDisagreementPct(classify(l17, te17), classify(l18, te18))
+			acc := 0.0
+			for i, p := range classify(l17, te17) {
+				if p == testY[i] {
+					acc++
+				}
+			}
+			accSum += acc / float64(len(testY))
+
+			// Precision sweep: quantize train+test features with a clip
+			// computed on the Wiki'17 features, shared with Wiki'18.
+			for _, prec := range r.Cfg.BERTPrecisions {
+				q := func(m *matrix.Dense, clip float64) *matrix.Dense {
+					out := m.Clone()
+					compress.QuantizeValues(out.Data, prec, clip)
+					return out
+				}
+				clip := 1.0
+				if prec < 32 {
+					clip = compress.OptimalClip(tr17.Data, prec)
+				}
+				ql17 := trainFeatureClassifier(q(tr17, clip), trainY, seed)
+				ql18 := trainFeatureClassifier(q(tr18, clip), trainY, seed)
+				precSums[prec] += core.PredictionDisagreementPct(
+					classify(ql17, q(te17, clip)), classify(ql18, q(te18, clip)))
+			}
+		}
+		n := float64(len(r.Cfg.BERTSeeds))
+		dimT.AddRow(hidden, diSum/n, accSum/n)
+		for _, prec := range r.Cfg.BERTPrecisions {
+			precT.AddRow(hidden, prec, precSums[prec]/n)
+		}
+	}
+	return []*Table{dimT, precT}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"anchor/internal/core"
+	"anchor/internal/tasks/ner"
+	"anchor/internal/tasks/sentiment"
+)
+
+// Cell is one fully evaluated grid point: an (algorithm, dimension,
+// precision, seed) configuration with every embedding distance measure
+// and the downstream instability (and quality) of every enabled task.
+type Cell struct {
+	Algo string
+	Dim  int
+	Prec int
+	Seed int64
+
+	// Measures maps measure name to distance between the quantized pair.
+	Measures map[string]float64
+	// DI maps task name to downstream prediction disagreement (percent).
+	DI map[string]float64
+	// Acc maps task name to the Wiki'17 model's test quality (accuracy
+	// for sentiment, entity token F1 for NER).
+	Acc map[string]float64
+}
+
+// MemoryBits returns the paper's memory axis for the cell.
+func (c Cell) MemoryBits() int { return c.Dim * c.Prec }
+
+// SentimentGrid evaluates the full dimension x precision x seed grid for
+// every algorithm: the shared substrate of Figures 1, 2, 4-7 and Tables
+// 1-3 and 9-11. Results are cached per configuration.
+func (r *Runner) SentimentGrid() []Cell {
+	return r.grid("sentiment", r.Cfg.Dims, r.Cfg.Precisions, r.Cfg.Seeds, r.Cfg.SentimentTasks, false)
+}
+
+// NERGrid evaluates the (possibly reduced) grid with the BiLSTM NER task.
+func (r *Runner) NERGrid() []Cell {
+	if !r.Cfg.NEREnabled {
+		return nil
+	}
+	return r.grid("ner", r.Cfg.NERDims, r.Cfg.NERPrecisions, r.Cfg.NERSeeds, nil, true)
+}
+
+func (r *Runner) grid(kind string, dims, precs []int, seeds []int64, sentTasks []string, withNER bool) []Cell {
+	key := fmt.Sprintf("%s|%v|%v|%v", kind, dims, precs, seeds)
+	r.mu.Lock()
+	if g, ok := r.gridCache[key]; ok {
+		r.mu.Unlock()
+		return g
+	}
+	r.mu.Unlock()
+
+	type job struct {
+		algo      string
+		dim, prec int
+		seed      int64
+	}
+	var jobs []job
+	for _, algo := range r.Cfg.Algorithms {
+		for _, dim := range dims {
+			for _, prec := range precs {
+				for _, seed := range seeds {
+					jobs = append(jobs, job{algo, dim, prec, seed})
+				}
+			}
+		}
+	}
+
+	// Pre-train all embeddings serially (they are cached by Pair) so the
+	// parallel phase below only reads the cache.
+	for _, algo := range r.Cfg.Algorithms {
+		for _, dim := range dims {
+			for _, seed := range seeds {
+				r.Pair(algo, dim, seed)
+			}
+		}
+	}
+	// Warm anchors and datasets.
+	for _, algo := range r.Cfg.Algorithms {
+		for _, seed := range seeds {
+			r.Anchors(algo, seed)
+		}
+	}
+	for _, t := range sentTasks {
+		r.SentimentData(t)
+	}
+	if withNER {
+		r.NERData()
+	}
+
+	cells := make([]Cell, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		j := jobs[i]
+		cells[i] = r.evalCell(j.algo, j.dim, j.prec, j.seed, sentTasks, withNER)
+	})
+
+	r.mu.Lock()
+	r.gridCache[key] = cells
+	r.mu.Unlock()
+	return cells
+}
+
+// evalCell quantizes the pair, computes all measures on the top words,
+// and trains/evaluates the enabled downstream tasks.
+func (r *Runner) evalCell(algo string, dim, prec int, seed int64, sentTasks []string, withNER bool) Cell {
+	q17, q18 := r.QuantizedPair(algo, dim, prec, seed)
+	ids := r.TopWordIDs()
+	s17, s18 := q17.SubRows(ids), q18.SubRows(ids)
+
+	cell := Cell{
+		Algo: algo, Dim: dim, Prec: prec, Seed: seed,
+		Measures: map[string]float64{},
+		DI:       map[string]float64{},
+		Acc:      map[string]float64{},
+	}
+	for _, m := range r.Measures(algo, seed) {
+		cell.Measures[m.Name()] = m.Distance(s17, s18)
+	}
+
+	for _, task := range sentTasks {
+		ds := r.SentimentData(task)
+		cfg := sentiment.DefaultLinearBOWConfig(seed)
+		m17 := sentiment.TrainLinearBOW(q17, ds, cfg)
+		m18 := sentiment.TrainLinearBOW(q18, ds, cfg)
+		cell.DI[task] = core.PredictionDisagreementPct(m17.Predict(ds.Test), m18.Predict(ds.Test))
+		cell.Acc[task] = m17.Accuracy(ds.Test)
+	}
+
+	if withNER {
+		ds := r.NERData()
+		cfg := ner.DefaultConfig(seed)
+		m17 := ner.Train(q17, ds, cfg)
+		m18 := ner.Train(q18, ds, cfg)
+		cell.DI["conll2003"] = core.PredictionDisagreementPct(
+			m17.EntityPredictions(ds.Test), m18.EntityPredictions(ds.Test))
+		cell.Acc["conll2003"] = m17.EntityTokenF1(ds.Test)
+	}
+	return cell
+}
+
+// AverageOverSeeds groups cells by (algo, dim, prec) and averages the
+// per-seed DI and measure values — the aggregation used in the figures.
+func AverageOverSeeds(cells []Cell) []Cell {
+	type key struct {
+		algo      string
+		dim, prec int
+	}
+	groups := map[key][]Cell{}
+	for _, c := range cells {
+		k := key{c.Algo, c.Dim, c.Prec}
+		groups[k] = append(groups[k], c)
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].algo != keys[b].algo {
+			return keys[a].algo < keys[b].algo
+		}
+		if keys[a].dim != keys[b].dim {
+			return keys[a].dim < keys[b].dim
+		}
+		return keys[a].prec < keys[b].prec
+	})
+	out := make([]Cell, 0, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		avg := Cell{
+			Algo: k.algo, Dim: k.dim, Prec: k.prec,
+			Measures: map[string]float64{},
+			DI:       map[string]float64{},
+			Acc:      map[string]float64{},
+		}
+		for _, c := range g {
+			for name, v := range c.Measures {
+				avg.Measures[name] += v / float64(len(g))
+			}
+			for name, v := range c.DI {
+				avg.DI[name] += v / float64(len(g))
+			}
+			for name, v := range c.Acc {
+				avg.Acc[name] += v / float64(len(g))
+			}
+		}
+		out = append(out, avg)
+	}
+	return out
+}
+
+// FilterCells returns the cells matching the predicate.
+func FilterCells(cells []Cell, keep func(Cell) bool) []Cell {
+	var out []Cell
+	for _, c := range cells {
+		if keep(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

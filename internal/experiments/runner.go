@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"anchor/internal/compress"
+	"anchor/internal/core"
+	"anchor/internal/corpus"
+	"anchor/internal/embedding"
+	"anchor/internal/embtrain"
+	"anchor/internal/tasks/ner"
+	"anchor/internal/tasks/sentiment"
+)
+
+// Runner executes experiments against a Config, caching the expensive
+// shared artifacts (corpora, trained embeddings, datasets, the
+// measurement grid) across experiments so that running the whole suite
+// trains each embedding exactly once.
+type Runner struct {
+	Cfg Config
+
+	mu        sync.Mutex
+	c17, c18  *corpus.Corpus
+	embCache  map[string]*embedding.Embedding // full precision, wiki18 pre-aligned
+	sentCache map[string]*sentiment.Dataset
+	nerCache  *ner.Dataset
+	topIDs    []int
+	gridCache map[string][]Cell
+}
+
+// NewRunner returns a Runner for the configuration.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{
+		Cfg:       cfg,
+		embCache:  map[string]*embedding.Embedding{},
+		sentCache: map[string]*sentiment.Dataset{},
+		gridCache: map[string][]Cell{},
+	}
+}
+
+// Corpora returns the two snapshots, generating them on first use.
+func (r *Runner) Corpora() (*corpus.Corpus, *corpus.Corpus) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c17 == nil {
+		r.c17 = corpus.Generate(r.Cfg.Corpus, corpus.Wiki17)
+		r.c18 = corpus.Generate(r.Cfg.Corpus, corpus.Wiki18)
+	}
+	return r.c17, r.c18
+}
+
+// TopWordIDs returns the ids of the most frequent Wiki'17 words used for
+// distance measures.
+func (r *Runner) TopWordIDs() []int {
+	c17, _ := r.Corpora()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.topIDs == nil {
+		r.topIDs = c17.TopWords(r.Cfg.TopWords)
+	}
+	return r.topIDs
+}
+
+// Pair returns the full-precision embedding pair for (algo, dim, seed):
+// the Wiki'17 embedding and the Wiki'18 embedding already aligned to it
+// with orthogonal Procrustes (Section 3's protocol). Both are cached.
+func (r *Runner) Pair(algo string, dim int, seed int64) (*embedding.Embedding, *embedding.Embedding) {
+	c17, c18 := r.Corpora()
+	k17 := fmt.Sprintf("%s|17|%d|%d", algo, dim, seed)
+	k18 := fmt.Sprintf("%s|18|%d|%d", algo, dim, seed)
+
+	r.mu.Lock()
+	e17, ok17 := r.embCache[k17]
+	e18, ok18 := r.embCache[k18]
+	r.mu.Unlock()
+	if ok17 && ok18 {
+		return e17, e18
+	}
+
+	tr, ok := embtrain.ByName(algo)
+	if !ok {
+		panic("experiments: unknown algorithm " + algo)
+	}
+	e17 = tr.Train(c17, dim, seed)
+	e18 = tr.Train(c18, dim, seed)
+	e18.AlignTo(e17)
+	// Mark the aligned variant so SVD caching cannot confuse it with an
+	// unaligned embedding of the same provenance.
+	e18.Meta.Corpus = "wiki18a"
+
+	r.mu.Lock()
+	r.embCache[k17] = e17
+	r.embCache[k18] = e18
+	r.mu.Unlock()
+	return e17, e18
+}
+
+// QuantizedPair returns the (aligned) pair compressed to the given
+// precision with a shared clip, sliced for measures only by the caller.
+func (r *Runner) QuantizedPair(algo string, dim, prec int, seed int64) (*embedding.Embedding, *embedding.Embedding) {
+	e17, e18 := r.Pair(algo, dim, seed)
+	return compress.QuantizePair(e17, e18, prec)
+}
+
+// Anchors returns the EIS anchor embeddings for an algorithm and seed:
+// the highest-dimensional full-precision pair, sliced to the top words.
+func (r *Runner) Anchors(algo string, seed int64) (*embedding.Embedding, *embedding.Embedding) {
+	e17, e18 := r.Pair(algo, r.Cfg.maxDim(), seed)
+	ids := r.TopWordIDs()
+	return e17.SubRows(ids), e18.SubRows(ids)
+}
+
+// SentimentData returns the named sentiment dataset (generated once from
+// the Wiki'17 snapshot, shared by every model).
+func (r *Runner) SentimentData(name string) *sentiment.Dataset {
+	c17, _ := r.Corpora()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ds, ok := r.sentCache[name]; ok {
+		return ds
+	}
+	var p sentiment.Params
+	switch name {
+	case "sst2":
+		p = sentiment.SST2Params()
+	case "mr":
+		p = sentiment.MRParams()
+	case "subj":
+		p = sentiment.SubjParams()
+	case "mpqa":
+		p = sentiment.MPQAParams()
+	default:
+		panic("experiments: unknown sentiment task " + name)
+	}
+	ds := sentiment.Generate(c17, r.Cfg.Corpus, p)
+	r.sentCache[name] = ds
+	return ds
+}
+
+// NERData returns the CoNLL-analogue dataset.
+func (r *Runner) NERData() *ner.Dataset {
+	c17, _ := r.Corpora()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nerCache == nil {
+		r.nerCache = ner.Generate(c17, r.Cfg.Corpus, ner.CoNLLParams())
+	}
+	return r.nerCache
+}
+
+// Measures returns the configured measure set for (algo, seed), with the
+// eigenspace instability anchors resolved.
+func (r *Runner) Measures(algo string, seed int64) []core.Measure {
+	e, et := r.Anchors(algo, seed)
+	eis := &core.EigenspaceInstability{E: e, ETilde: et, Alpha: r.Cfg.Alpha}
+	knn := &core.KNN{K: r.Cfg.K, Queries: r.Cfg.KNNQueries, Seed: 7}
+	return []core.Measure{eis, knn, core.SemanticDisplacement{}, core.PIPLoss{}, core.EigenspaceOverlap{}}
+}
+
+// MeasureNames lists the measure names in reporting order (Table 1's rows).
+func MeasureNames() []string {
+	return []string{
+		"eigenspace-instability", "1-knn", "semantic-displacement",
+		"pip-loss", "1-eigenspace-overlap",
+	}
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines.
+// fn must synchronize its own writes to shared state.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

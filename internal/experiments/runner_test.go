@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPairCachedAndAligned(t *testing.T) {
+	a17, a18 := sharedRunner.Pair("mc", 8, 1)
+	b17, b18 := sharedRunner.Pair("mc", 8, 1)
+	if a17 != b17 || a18 != b18 {
+		t.Fatal("Pair not cached")
+	}
+	if a18.Meta.Corpus != "wiki18a" {
+		t.Fatalf("wiki18 pair not marked aligned: %q", a18.Meta.Corpus)
+	}
+	if a17.Dim() != 8 || a18.Dim() != 8 {
+		t.Fatal("pair dimension wrong")
+	}
+}
+
+func TestQuantizedPairPrecisionRecorded(t *testing.T) {
+	q17, q18 := sharedRunner.QuantizedPair("mc", 8, 4, 1)
+	if q17.Meta.Precision != 4 || q18.Meta.Precision != 4 {
+		t.Fatalf("precisions %d/%d", q17.Meta.Precision, q18.Meta.Precision)
+	}
+	// Quantization returns copies; the cached full-precision pair must be
+	// untouched.
+	e17, _ := sharedRunner.Pair("mc", 8, 1)
+	if e17.Meta.Precision != 32 {
+		t.Fatal("cached pair mutated by quantization")
+	}
+}
+
+func TestAnchorsShape(t *testing.T) {
+	e, et := sharedRunner.Anchors("mc", 1)
+	if e.Rows() != sharedRunner.Cfg.TopWords || et.Rows() != sharedRunner.Cfg.TopWords {
+		t.Fatalf("anchor rows %d/%d, want %d", e.Rows(), et.Rows(), sharedRunner.Cfg.TopWords)
+	}
+	if e.Dim() != sharedRunner.Cfg.maxDim() {
+		t.Fatalf("anchor dim %d, want max dim %d", e.Dim(), sharedRunner.Cfg.maxDim())
+	}
+}
+
+func TestSentimentDataCachedAndPanicsOnUnknown(t *testing.T) {
+	a := sharedRunner.SentimentData("sst2")
+	b := sharedRunner.SentimentData("sst2")
+	if a != b {
+		t.Fatal("dataset not cached")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown task")
+		}
+	}()
+	sharedRunner.SentimentData("imdb")
+}
+
+func TestPairUnknownAlgorithmPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sharedRunner.Pair("elmo", 8, 1)
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	const n = 137
+	var hits [n]int32
+	parallelFor(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+	// Degenerate sizes.
+	parallelFor(0, func(int) { t.Fatal("must not run") })
+	ran := false
+	parallelFor(1, func(int) { ran = true })
+	if !ran {
+		t.Fatal("n=1 did not run")
+	}
+}
+
+func TestConfigLadderHelpers(t *testing.T) {
+	cfg := SmallConfig()
+	if cfg.midDim() != 16 || cfg.maxDim() != 32 {
+		t.Fatalf("mid=%d max=%d", cfg.midDim(), cfg.maxDim())
+	}
+	bench := BenchConfig()
+	repro := ReproConfig()
+	if len(bench.Dims) >= len(repro.Dims) {
+		t.Fatal("repro ladder should extend bench ladder")
+	}
+	for _, c := range []Config{cfg, bench, repro} {
+		if c.Alpha != 3 || c.K != 5 {
+			t.Fatal("paper hyperparameters (alpha=3, k=5) must be defaults")
+		}
+	}
+}
+
+func TestNERGridDisabled(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.NEREnabled = false
+	r := NewRunner(cfg)
+	if got := r.NERGrid(); got != nil {
+		t.Fatalf("disabled NER grid should be nil, got %d cells", len(got))
+	}
+}

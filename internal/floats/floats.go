@@ -1,0 +1,273 @@
+// Package floats provides the dense float64 vector kernels used throughout
+// anchor: dot products, norms, scaled accumulation, and small statistical
+// helpers. Every higher-level numeric package (matrix, embedding training,
+// neural nets) is built on these primitives.
+package floats
+
+import (
+	"math"
+	"sort"
+)
+
+// Dot returns the inner product of x and y. The slices must have equal length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("floats: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha * x in place. The slices must have equal length.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("floats: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Add computes x += y element-wise in place.
+func Add(x, y []float64) {
+	if len(x) != len(y) {
+		panic("floats: Add length mismatch")
+	}
+	for i := range x {
+		x[i] += y[i]
+	}
+}
+
+// Sub computes x -= y element-wise in place.
+func Sub(x, y []float64) {
+	if len(x) != len(y) {
+		panic("floats: Sub length mismatch")
+	}
+	for i := range x {
+		x[i] -= y[i]
+	}
+}
+
+// Norm returns the Euclidean (L2) norm of x.
+func Norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of x.
+func Norm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Normalize scales x to unit L2 norm in place and returns the original norm.
+// A zero vector is left unchanged.
+func Normalize(x []float64) float64 {
+	n := Norm(x)
+	if n > 0 {
+		Scale(1/n, x)
+	}
+	return n
+}
+
+// CosineSim returns the cosine similarity of x and y, or 0 if either is zero.
+func CosineSim(x, y []float64) float64 {
+	nx, ny := Norm(x), Norm(y)
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	return Dot(x, y) / (nx * ny)
+}
+
+// CosineDist returns 1 - CosineSim(x, y).
+func CosineDist(x, y []float64) float64 {
+	return 1 - CosineSim(x, y)
+}
+
+// L1Dist returns the Manhattan distance between x and y.
+func L1Dist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("floats: L1Dist length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += math.Abs(v - y[i])
+	}
+	return s
+}
+
+// L2Dist returns the Euclidean distance between x and y.
+func L2Dist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("floats: L2Dist length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Max returns the maximum element of x. It panics on an empty slice.
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		panic("floats: Max of empty slice")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element of x. It panics on an empty slice.
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		panic("floats: Min of empty slice")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum element of x (first one on ties).
+// It panics on an empty slice.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		panic("floats: ArgMax of empty slice")
+	}
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of x using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(x []float64, q float64) float64 {
+	if len(x) == 0 {
+		panic("floats: Quantile of empty slice")
+	}
+	s := Clone(x)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// LogSumExp returns log(sum(exp(x_i))) computed stably.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	m := Max(x)
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// Softmax writes the softmax of x into dst (which may alias x) and
+// returns dst. The slices must have equal length.
+func Softmax(dst, x []float64) []float64 {
+	if len(dst) != len(x) {
+		panic("floats: Softmax length mismatch")
+	}
+	m := Max(x)
+	var s float64
+	for i, v := range x {
+		e := math.Exp(v - m)
+		dst[i] = e
+		s += e
+	}
+	for i := range dst {
+		dst[i] /= s
+	}
+	return dst
+}

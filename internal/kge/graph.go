@@ -1,0 +1,162 @@
+// Package kge implements the paper's knowledge graph embedding extension
+// (Section 6.1): a synthetic FB15K analogue with translation structure, the
+// TransE training algorithm (Bordes et al. 2013), link prediction with the
+// unstable-rank@10 instability metric, and triplet classification with
+// per-relation thresholds (Socher et al. 2013).
+package kge
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Triplet is one (head, relation, tail) fact.
+type Triplet struct {
+	H, R, T int32
+}
+
+// Graph is a knowledge graph with train/valid/test triplet splits.
+type Graph struct {
+	NumEntities  int
+	NumRelations int
+	Train        []Triplet
+	Valid        []Triplet
+	Test         []Triplet
+}
+
+// GraphConfig controls synthetic graph generation. Entities receive latent
+// positions in R^LatentDim; each relation is a latent translation vector;
+// a triplet (h, r, t) holds when t is the entity nearest to pos(h)+vec(r).
+// This gives the graph exactly the geometry TransE is built to model, the
+// same reason TransE fits Freebase relations.
+type GraphConfig struct {
+	Entities  int
+	Relations int
+	TrainN    int
+	ValidN    int
+	TestN     int
+	LatentDim int
+	// Noise is the probability a triplet's tail is corrupted at
+	// generation time (facts that break the translation pattern).
+	Noise float64
+	Seed  int64
+}
+
+// DefaultGraphConfig returns the repro-scale FB15K analogue.
+func DefaultGraphConfig() GraphConfig {
+	return GraphConfig{
+		Entities: 400, Relations: 12,
+		TrainN: 4000, ValidN: 400, TestN: 400,
+		LatentDim: 6, Noise: 0.05, Seed: 99,
+	}
+}
+
+// TestGraphConfig returns a miniature configuration for unit tests.
+func TestGraphConfig() GraphConfig {
+	c := DefaultGraphConfig()
+	c.Entities, c.TrainN, c.ValidN, c.TestN = 120, 1200, 150, 150
+	return c
+}
+
+// GenerateGraph builds the synthetic knowledge graph deterministically.
+func GenerateGraph(cfg GraphConfig) *Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Latent entity positions: clustered so relations act within and
+	// across clusters, as in real knowledge bases.
+	clusters := 8
+	centers := make([][]float64, clusters)
+	for i := range centers {
+		centers[i] = randVec(cfg.LatentDim, 2.0, rng)
+	}
+	pos := make([][]float64, cfg.Entities)
+	for e := range pos {
+		c := centers[e%clusters]
+		pos[e] = make([]float64, cfg.LatentDim)
+		for j := range pos[e] {
+			pos[e][j] = c[j] + 0.5*rng.NormFloat64()
+		}
+	}
+	rel := make([][]float64, cfg.Relations)
+	for r := range rel {
+		rel[r] = randVec(cfg.LatentDim, 1.5, rng)
+	}
+
+	seen := map[Triplet]bool{}
+	total := cfg.TrainN + cfg.ValidN + cfg.TestN
+	triplets := make([]Triplet, 0, total)
+	for len(triplets) < total {
+		h := rng.Intn(cfg.Entities)
+		r := rng.Intn(cfg.Relations)
+		var t int
+		if rng.Float64() < cfg.Noise {
+			t = rng.Intn(cfg.Entities)
+		} else {
+			t = nearestEntity(pos, pos[h], rel[r], h)
+		}
+		if t == h {
+			continue
+		}
+		tr := Triplet{H: int32(h), R: int32(r), T: int32(t)}
+		if seen[tr] {
+			continue
+		}
+		seen[tr] = true
+		triplets = append(triplets, tr)
+	}
+	return &Graph{
+		NumEntities:  cfg.Entities,
+		NumRelations: cfg.Relations,
+		Train:        triplets[:cfg.TrainN],
+		Valid:        triplets[cfg.TrainN : cfg.TrainN+cfg.ValidN],
+		Test:         triplets[cfg.TrainN+cfg.ValidN:],
+	}
+}
+
+func randVec(n int, scale float64, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = scale * rng.NormFloat64()
+	}
+	return v
+}
+
+func nearestEntity(pos [][]float64, from, shift []float64, exclude int) int {
+	best, bestD := -1, 0.0
+	for e := range pos {
+		if e == exclude {
+			continue
+		}
+		var d float64
+		for j := range from {
+			diff := from[j] + shift[j] - pos[e][j]
+			d += diff * diff
+		}
+		if best == -1 || d < bestD {
+			best, bestD = e, d
+		}
+	}
+	return best
+}
+
+// Subsample returns a copy of g whose training set is a random fraction of
+// the original (the paper's FB15K-95 keeps 95%); valid and test splits are
+// unchanged, exactly as in the paper.
+func Subsample(g *Graph, frac float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(g.Train))
+	keep := int(float64(len(g.Train)) * frac)
+	kept := make([]Triplet, keep)
+	sel := idx[:keep]
+	sort.Ints(sel) // preserve original order for determinism
+	for i, j := range sel {
+		kept[i] = g.Train[j]
+	}
+	return &Graph{
+		NumEntities:  g.NumEntities,
+		NumRelations: g.NumRelations,
+		Train:        kept,
+		Valid:        g.Valid,
+		Test:         g.Test,
+	}
+}

@@ -1,0 +1,27 @@
+package kge
+
+import (
+	"anchor/internal/compress"
+	"anchor/internal/matrix"
+)
+
+func quantizeDense(m *matrix.Dense, bits int, clip float64) *matrix.Dense {
+	out := m.Clone()
+	compress.QuantizeValues(out.Data, bits, clip)
+	return out
+}
+
+// QuantizePair compresses a pair of TransE models (trained on FB15K-95 and
+// FB15K) to the given precision. As with word embeddings, the clipping
+// thresholds are computed on the first model and shared with the second to
+// avoid a spurious source of instability; entity and relation matrices get
+// independent clips. Unlike word embeddings, the pair is NOT Procrustes-
+// aligned first (the paper found alignment hurts KGE quality, Appendix C.5).
+func QuantizePair(a, b *TransE, bits int) (*TransE, *TransE) {
+	if bits >= compress.FullPrecision {
+		return a.Quantize(bits, 0, 0), b.Quantize(bits, 0, 0)
+	}
+	entClip := compress.OptimalClip(a.Entity.Data, bits)
+	relClip := compress.OptimalClip(a.Relation.Data, bits)
+	return a.Quantize(bits, entClip, relClip), b.Quantize(bits, entClip, relClip)
+}

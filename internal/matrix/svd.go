@@ -1,0 +1,212 @@
+package matrix
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition A = U * diag(S) * Vᵀ,
+// where A is n-by-d (n >= rank), U is n-by-r with orthonormal columns,
+// S holds the r positive singular values in descending order, and V is
+// d-by-r with orthonormal columns. Singular values below RankTol times
+// the largest are dropped, so r <= min(n, d) is the numerical rank.
+type SVD struct {
+	U *Dense
+	S []float64
+	V *Dense
+}
+
+// RankTol is the relative threshold below which singular values are
+// treated as zero when forming the thin SVD.
+const RankTol = 1e-12
+
+// ComputeSVD returns the thin SVD of a using the one-sided Jacobi method,
+// which is simple, numerically robust, and efficient for the tall-thin
+// matrices that arise from embedding matrices (n rows >> d columns).
+// The input is not modified.
+func ComputeSVD(a *Dense) SVD {
+	n, d := a.Rows, a.Cols
+	if n < d {
+		// Jacobi works column-wise; decompose the transpose and swap U/V.
+		s := ComputeSVD(a.T())
+		return SVD{U: s.V, S: s.S, V: s.U}
+	}
+	// Work on a copy: W starts as A; Jacobi rotations orthogonalize its
+	// columns. At convergence W = U*diag(S) and V accumulates rotations.
+	w := a.Clone()
+	v := Identity(d)
+
+	const maxSweeps = 60
+	eps := 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < d-1; p++ {
+			for q := p + 1; q < d; q++ {
+				var alpha, beta, gamma float64
+				for i := 0; i < n; i++ {
+					wp := w.Data[i*d+p]
+					wq := w.Data[i*d+q]
+					alpha += wp * wp
+					beta += wq * wq
+					gamma += wp * wq
+				}
+				if alpha == 0 || beta == 0 {
+					continue
+				}
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) {
+					continue
+				}
+				off++
+				// Jacobi rotation that zeroes the (p,q) inner product.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < n; i++ {
+					wp := w.Data[i*d+p]
+					wq := w.Data[i*d+q]
+					w.Data[i*d+p] = c*wp - s*wq
+					w.Data[i*d+q] = s*wp + c*wq
+				}
+				for i := 0; i < d; i++ {
+					vp := v.Data[i*d+p]
+					vq := v.Data[i*d+q]
+					v.Data[i*d+p] = c*vp - s*vq
+					v.Data[i*d+q] = s*vp + c*vq
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Extract singular values as column norms; sort descending.
+	type col struct {
+		norm float64
+		idx  int
+	}
+	cols := make([]col, d)
+	for j := 0; j < d; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			x := w.Data[i*d+j]
+			s += x * x
+		}
+		cols[j] = col{math.Sqrt(s), j}
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].norm > cols[j].norm })
+
+	// Drop numerically zero singular values to form the thin factorization.
+	rank := 0
+	tol := RankTol * cols[0].norm
+	for rank < d && cols[rank].norm > tol && cols[rank].norm > 0 {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1 // degenerate all-zero matrix: keep one column for shape sanity
+	}
+
+	u := NewDense(n, rank)
+	vOut := NewDense(d, rank)
+	sv := make([]float64, rank)
+	for r := 0; r < rank; r++ {
+		j := cols[r].idx
+		sv[r] = cols[r].norm
+		inv := 0.0
+		if cols[r].norm > 0 {
+			inv = 1 / cols[r].norm
+		}
+		for i := 0; i < n; i++ {
+			u.Data[i*rank+r] = w.Data[i*d+j] * inv
+		}
+		for i := 0; i < d; i++ {
+			vOut.Data[i*rank+r] = v.Data[i*d+j]
+		}
+	}
+	return SVD{U: u, S: sv, V: vOut}
+}
+
+// Reconstruct returns U * diag(S) * Vᵀ, the matrix represented by the SVD.
+func (s SVD) Reconstruct() *Dense {
+	r := len(s.S)
+	us := s.U.Clone()
+	for i := 0; i < us.Rows; i++ {
+		row := us.Row(i)
+		for j := 0; j < r; j++ {
+			row[j] *= s.S[j]
+		}
+	}
+	return MulABT(us, s.V)
+}
+
+// Procrustes returns the orthogonal matrix R that minimizes ||X - Y*R||_F
+// subject to RᵀR = I (Schönemann 1966). X and Y must have the same shape.
+// The solution is R = U*Vᵀ where YᵀX = U*diag(S)*Vᵀ.
+func Procrustes(x, y *Dense) *Dense {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		panic("matrix: Procrustes shape mismatch")
+	}
+	m := MulATB(y, x) // YᵀX, d-by-d
+	s := ComputeSVD(m)
+	return MulABT(s.U, s.V)
+}
+
+// LeastSquares solves min_w ||A*w - b||₂ via the normal equations with
+// Tikhonov-free Cholesky; A must have full column rank. For the small,
+// well-conditioned systems anchor solves (d <= a few hundred), this is
+// accurate and fast.
+func LeastSquares(a *Dense, b []float64) []float64 {
+	if a.Rows != len(b) {
+		panic("matrix: LeastSquares dimension mismatch")
+	}
+	ata := MulATB(a, a)
+	atb := MulVecT(a, b)
+	return SolveSPD(ata, atb)
+}
+
+// SolveSPD solves the symmetric positive-definite system m*x = b using
+// Cholesky factorization. It panics if m is not positive definite.
+func SolveSPD(m *Dense, b []float64) []float64 {
+	n := m.Rows
+	if m.Cols != n || len(b) != n {
+		panic("matrix: SolveSPD dimension mismatch")
+	}
+	// Cholesky: m = L*Lᵀ.
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					panic("matrix: SolveSPD matrix not positive definite")
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	// Forward solve L*y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * y[k]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	// Back solve Lᵀ*x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}

@@ -1,0 +1,210 @@
+// Package nn builds the downstream model zoo of the paper on top of the
+// autodiff engine: linear layers, LSTM/BiLSTM, 1-D convolutions (Kim 2014
+// style), a linear-chain CRF, and the SGD/Adam optimizers used to train
+// the sentiment and NER models.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"anchor/internal/autodiff"
+	"anchor/internal/matrix"
+)
+
+// Module is anything exposing trainable parameters.
+type Module interface {
+	Params() []*autodiff.Param
+}
+
+// XavierInit fills a parameter matrix with the Glorot uniform
+// initialization for the given fan-in and fan-out.
+func XavierInit(m *matrix.Dense, fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// Linear is a fully connected layer y = x·W + b.
+type Linear struct {
+	W, B *autodiff.Param
+}
+
+// NewLinear returns a Glorot-initialized linear layer.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	w := matrix.NewDense(in, out)
+	XavierInit(w, in, out, rng)
+	return &Linear{
+		W: autodiff.NewParam(name+".W", w),
+		B: autodiff.NewParam(name+".b", matrix.NewDense(1, out)),
+	}
+}
+
+// Forward applies the layer to x (n-by-in), returning n-by-out.
+func (l *Linear) Forward(tp *autodiff.Tape, x *autodiff.Node) *autodiff.Node {
+	return tp.AddRowVec(tp.MatMul(x, tp.Use(l.W)), tp.Use(l.B))
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*autodiff.Param { return []*autodiff.Param{l.W, l.B} }
+
+// LSTM is a single-layer LSTM cell with input size In and hidden size H.
+// Gate order in the packed weight matrices is [input, forget, cell, output].
+type LSTM struct {
+	In, H int
+	Wx    *autodiff.Param // In x 4H
+	Wh    *autodiff.Param // H x 4H
+	B     *autodiff.Param // 1 x 4H
+}
+
+// NewLSTM returns a Glorot-initialized LSTM with forget-gate bias 1.
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	wx := matrix.NewDense(in, 4*hidden)
+	wh := matrix.NewDense(hidden, 4*hidden)
+	XavierInit(wx, in, 4*hidden, rng)
+	XavierInit(wh, hidden, 4*hidden, rng)
+	b := matrix.NewDense(1, 4*hidden)
+	for j := hidden; j < 2*hidden; j++ {
+		b.Set(0, j, 1) // forget gate bias
+	}
+	return &LSTM{
+		In: in, H: hidden,
+		Wx: autodiff.NewParam(name+".Wx", wx),
+		Wh: autodiff.NewParam(name+".Wh", wh),
+		B:  autodiff.NewParam(name+".b", b),
+	}
+}
+
+// Params implements Module.
+func (l *LSTM) Params() []*autodiff.Param { return []*autodiff.Param{l.Wx, l.Wh, l.B} }
+
+// Step advances the cell one timestep. x is 1-by-In; h and c are 1-by-H
+// (pass nil for the initial zero state). It returns the new h and c.
+func (l *LSTM) Step(tp *autodiff.Tape, x, h, c *autodiff.Node) (hNew, cNew *autodiff.Node) {
+	if h == nil {
+		h = tp.Const(matrix.NewDense(1, l.H))
+		c = tp.Const(matrix.NewDense(1, l.H))
+	}
+	gates := tp.AddRowVec(tp.Add(tp.MatMul(x, tp.Use(l.Wx)), tp.MatMul(h, tp.Use(l.Wh))), tp.Use(l.B))
+	i := tp.Sigmoid(tp.SliceCols(gates, 0, l.H))
+	f := tp.Sigmoid(tp.SliceCols(gates, l.H, 2*l.H))
+	g := tp.Tanh(tp.SliceCols(gates, 2*l.H, 3*l.H))
+	o := tp.Sigmoid(tp.SliceCols(gates, 3*l.H, 4*l.H))
+	cNew = tp.Add(tp.Mul(f, c), tp.Mul(i, g))
+	hNew = tp.Mul(o, tp.Tanh(cNew))
+	return hNew, cNew
+}
+
+// Run unrolls the cell over a sequence (seq-by-In) and returns the hidden
+// states stacked as seq-by-H.
+func (l *LSTM) Run(tp *autodiff.Tape, seq *autodiff.Node) *autodiff.Node {
+	n := seq.Value.Rows
+	var h, c *autodiff.Node
+	outs := make([]*autodiff.Node, n)
+	for t := 0; t < n; t++ {
+		x := tp.SliceRows(seq, t, t+1)
+		h, c = l.Step(tp, x, h, c)
+		outs[t] = h
+	}
+	return tp.ConcatRows(outs...)
+}
+
+// RunReverse unrolls the cell right-to-left and returns hidden states in
+// the original (left-to-right) order.
+func (l *LSTM) RunReverse(tp *autodiff.Tape, seq *autodiff.Node) *autodiff.Node {
+	n := seq.Value.Rows
+	var h, c *autodiff.Node
+	outs := make([]*autodiff.Node, n)
+	for t := n - 1; t >= 0; t-- {
+		x := tp.SliceRows(seq, t, t+1)
+		h, c = l.Step(tp, x, h, c)
+		outs[t] = h
+	}
+	return tp.ConcatRows(outs...)
+}
+
+// BiLSTM runs a forward and a backward LSTM over the sequence and
+// concatenates their hidden states per timestep (the paper's NER encoder,
+// after Akbik et al. 2018).
+type BiLSTM struct {
+	Fwd, Bwd *LSTM
+}
+
+// NewBiLSTM returns a bidirectional LSTM; the output size is 2*hidden.
+func NewBiLSTM(name string, in, hidden int, rng *rand.Rand) *BiLSTM {
+	return &BiLSTM{
+		Fwd: NewLSTM(name+".fwd", in, hidden, rng),
+		Bwd: NewLSTM(name+".bwd", in, hidden, rng),
+	}
+}
+
+// Forward returns seq-by-2H hidden states.
+func (b *BiLSTM) Forward(tp *autodiff.Tape, seq *autodiff.Node) *autodiff.Node {
+	return tp.ConcatCols(b.Fwd.Run(tp, seq), b.Bwd.RunReverse(tp, seq))
+}
+
+// Params implements Module.
+func (b *BiLSTM) Params() []*autodiff.Param {
+	return append(b.Fwd.Params(), b.Bwd.Params()...)
+}
+
+// Conv1D is a bank of 1-D convolutions over token sequences with multiple
+// filter widths, as in Kim (2014): each width w has Out filters over
+// windows of w consecutive token vectors; outputs are max-pooled over time
+// and concatenated (len(Widths)*Out features).
+type Conv1D struct {
+	Widths []int
+	In     int
+	Out    int
+	W      []*autodiff.Param // per width: (w*In) x Out
+	B      []*autodiff.Param // per width: 1 x Out
+}
+
+// NewConv1D returns a Glorot-initialized convolution bank.
+func NewConv1D(name string, widths []int, in, out int, rng *rand.Rand) *Conv1D {
+	c := &Conv1D{Widths: widths, In: in, Out: out}
+	for _, w := range widths {
+		wm := matrix.NewDense(w*in, out)
+		XavierInit(wm, w*in, out, rng)
+		c.W = append(c.W, autodiff.NewParam(name+".W", wm))
+		c.B = append(c.B, autodiff.NewParam(name+".b", matrix.NewDense(1, out)))
+	}
+	return c
+}
+
+// Forward maps a seq-by-In sequence to a 1-by-(len(Widths)*Out) feature
+// vector: convolution, ReLU, max-over-time pooling per width. Sequences
+// shorter than a width reuse the largest possible window.
+func (c *Conv1D) Forward(tp *autodiff.Tape, seq *autodiff.Node) *autodiff.Node {
+	var pooled []*autodiff.Node
+	n := seq.Value.Rows
+	for wi, w := range c.Widths {
+		eff := w
+		if n < eff {
+			eff = n
+		}
+		var windows []*autodiff.Node
+		for s := 0; s+eff <= n; s++ {
+			win := tp.Reshape(tp.SliceRows(seq, s, s+eff), 1, eff*c.In)
+			if eff < w {
+				// Zero-pad the flattened window to the filter width.
+				pad := tp.Const(matrix.NewDense(1, (w-eff)*c.In))
+				win = tp.ConcatCols(win, pad)
+			}
+			windows = append(windows, win)
+		}
+		stacked := tp.ConcatRows(windows...)
+		conv := tp.ReLU(tp.AddRowVec(tp.MatMul(stacked, tp.Use(c.W[wi])), tp.Use(c.B[wi])))
+		pooled = append(pooled, tp.MaxPoolRows(conv))
+	}
+	return tp.ConcatCols(pooled...)
+}
+
+// Params implements Module.
+func (c *Conv1D) Params() []*autodiff.Param {
+	out := make([]*autodiff.Param, 0, 2*len(c.W))
+	out = append(out, c.W...)
+	out = append(out, c.B...)
+	return out
+}

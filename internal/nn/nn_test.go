@@ -1,0 +1,288 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"anchor/internal/autodiff"
+	"anchor/internal/matrix"
+)
+
+// gradCheckModule verifies module gradients against finite differences.
+func gradCheckModule(t *testing.T, name string, params []*autodiff.Param, buildLoss func(tp *autodiff.Tape) *autodiff.Node) {
+	t.Helper()
+	tp := autodiff.NewTape()
+	tp.Backward(buildLoss(tp))
+	const eps = 1e-6
+	for _, p := range params {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			lp := buildLoss(autodiff.NewTape()).Value.At(0, 0)
+			p.Value.Data[i] = orig - eps
+			lm := buildLoss(autodiff.NewTape()).Value.At(0, 0)
+			p.Value.Data[i] = orig
+			want := (lp - lm) / (2 * eps)
+			if got := p.Grad.Data[i]; math.Abs(got-want) > 2e-4*(1+math.Abs(want)) {
+				t.Fatalf("%s: %s[%d]: grad %v vs fd %v", name, p.Name, i, got, want)
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+func TestLinearGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lin := NewLinear("lin", 4, 3, rng)
+	x := matrix.NewDenseRand(5, 4, 1, rng)
+	targets := []int{0, 1, 2, 0, 1}
+	gradCheckModule(t, "linear", lin.Params(), func(tp *autodiff.Tape) *autodiff.Node {
+		return tp.CrossEntropy(lin.Forward(tp, tp.Const(x)), targets)
+	})
+}
+
+func TestLSTMGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lstm := NewLSTM("lstm", 3, 4, rng)
+	seq := matrix.NewDenseRand(5, 3, 1, rng)
+	gradCheckModule(t, "lstm", lstm.Params(), func(tp *autodiff.Tape) *autodiff.Node {
+		h := lstm.Run(tp, tp.Const(seq))
+		return tp.SumAll(tp.Mul(h, h))
+	})
+}
+
+func TestBiLSTMGradAndShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bi := NewBiLSTM("bi", 3, 2, rng)
+	seq := matrix.NewDenseRand(4, 3, 1, rng)
+	tp := autodiff.NewTape()
+	out := bi.Forward(tp, tp.Const(seq))
+	if out.Value.Rows != 4 || out.Value.Cols != 4 {
+		t.Fatalf("BiLSTM output %dx%d, want 4x4", out.Value.Rows, out.Value.Cols)
+	}
+	gradCheckModule(t, "bilstm", bi.Params(), func(tp *autodiff.Tape) *autodiff.Node {
+		h := bi.Forward(tp, tp.Const(seq))
+		return tp.SumAll(tp.Mul(h, h))
+	})
+}
+
+func TestBiLSTMBackwardDirectionMatters(t *testing.T) {
+	// The backward LSTM state at position 0 must depend on later tokens.
+	rng := rand.New(rand.NewSource(4))
+	bi := NewBiLSTM("bi", 2, 3, rng)
+	seq1 := matrix.NewDenseRand(4, 2, 1, rng)
+	seq2 := seq1.Clone()
+	seq2.Set(3, 0, seq2.At(3, 0)+1) // change the LAST token
+
+	out1 := bi.Forward(autodiff.NewTape(), autodiff.NewTape().Const(seq1))
+	_ = out1
+	tp1 := autodiff.NewTape()
+	o1 := bi.Forward(tp1, tp1.Const(seq1))
+	tp2 := autodiff.NewTape()
+	o2 := bi.Forward(tp2, tp2.Const(seq2))
+	// Forward half at position 0 must be identical; backward half must differ.
+	for j := 0; j < 3; j++ {
+		if o1.Value.At(0, j) != o2.Value.At(0, j) {
+			t.Fatal("forward state at position 0 changed by a later token")
+		}
+	}
+	differs := false
+	for j := 3; j < 6; j++ {
+		if o1.Value.At(0, j) != o2.Value.At(0, j) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("backward state at position 0 ignored a later token")
+	}
+}
+
+func TestConv1DGradAndShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv := NewConv1D("conv", []int{2, 3}, 3, 4, rng)
+	seq := matrix.NewDenseRand(6, 3, 1, rng)
+	tp := autodiff.NewTape()
+	out := conv.Forward(tp, tp.Const(seq))
+	if out.Value.Rows != 1 || out.Value.Cols != 8 {
+		t.Fatalf("conv output %dx%d, want 1x8", out.Value.Rows, out.Value.Cols)
+	}
+	gradCheckModule(t, "conv", conv.Params(), func(tp *autodiff.Tape) *autodiff.Node {
+		o := conv.Forward(tp, tp.Const(seq))
+		return tp.SumAll(tp.Mul(o, o))
+	})
+}
+
+func TestConv1DShortSequence(t *testing.T) {
+	// Sequence shorter than the largest filter width must still work.
+	rng := rand.New(rand.NewSource(6))
+	conv := NewConv1D("conv", []int{3, 5}, 2, 3, rng)
+	seq := matrix.NewDenseRand(2, 2, 1, rng)
+	tp := autodiff.NewTape()
+	out := conv.Forward(tp, tp.Const(seq))
+	if out.Value.Cols != 6 {
+		t.Fatalf("short sequence conv output cols = %d", out.Value.Cols)
+	}
+}
+
+func TestCRFForwardMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	crf := NewCRF("crf", 3, rng)
+	emissions := matrix.NewDenseRand(4, 3, 1, rng)
+	tags := []int{0, 2, 1, 1}
+
+	tp := autodiff.NewTape()
+	nll := crf.NegLogLikelihood(tp, tp.Const(emissions), tags)
+
+	// Brute force: logZ − goldScore.
+	logZ := crf.BruteForceLogZ(emissions)
+	gold := crf.Start.Value.At(0, tags[0]) + emissions.At(0, tags[0])
+	for t2 := 1; t2 < 4; t2++ {
+		gold += crf.Trans.Value.At(tags[t2-1], tags[t2]) + emissions.At(t2, tags[t2])
+	}
+	gold += crf.End.Value.At(0, tags[3])
+	want := logZ - gold
+	if math.Abs(nll.Value.At(0, 0)-want) > 1e-9 {
+		t.Fatalf("CRF NLL %v != brute force %v", nll.Value.At(0, 0), want)
+	}
+}
+
+func TestCRFGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	crf := NewCRF("crf", 3, rng)
+	emissions := matrix.NewDenseRand(4, 3, 1, rng)
+	tags := []int{1, 0, 2, 1}
+	gradCheckModule(t, "crf", crf.Params(), func(tp *autodiff.Tape) *autodiff.Node {
+		return crf.NegLogLikelihood(tp, tp.Const(emissions), tags)
+	})
+}
+
+func TestCRFDecodeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	crf := NewCRF("crf", 3, rng)
+	emissions := matrix.NewDenseRand(5, 3, 1, rng)
+	got := crf.Decode(emissions)
+
+	// Brute force best path.
+	n := 5
+	bestScore := math.Inf(-1)
+	var best []int
+	seq := make([]int, n)
+	var rec func(t int, acc float64)
+	rec = func(t int, acc float64) {
+		if t == n {
+			total := acc + crf.End.Value.At(0, seq[n-1])
+			if total > bestScore {
+				bestScore = total
+				best = append([]int(nil), seq...)
+			}
+			return
+		}
+		for j := 0; j < 3; j++ {
+			s := acc + emissions.At(t, j)
+			if t == 0 {
+				s += crf.Start.Value.At(0, j)
+			} else {
+				s += crf.Trans.Value.At(seq[t-1], j)
+			}
+			seq[t] = j
+			rec(t+1, s)
+		}
+	}
+	rec(0, 0)
+	for i := range best {
+		if got[i] != best[i] {
+			t.Fatalf("Viterbi path %v != brute force %v", got, best)
+		}
+	}
+}
+
+func TestCRFLearnsTransitions(t *testing.T) {
+	// Train a CRF on sequences that always alternate tags 0,1,0,1...
+	// With uninformative emissions it must learn the transition structure.
+	rng := rand.New(rand.NewSource(10))
+	crf := NewCRF("crf", 2, rng)
+	emissions := matrix.NewDense(6, 2) // all-zero emissions
+	tags := []int{0, 1, 0, 1, 0, 1}
+	opt := NewSGD(0.5)
+	for it := 0; it < 60; it++ {
+		tp := autodiff.NewTape()
+		nll := crf.NegLogLikelihood(tp, tp.Const(emissions), tags)
+		tp.Backward(nll)
+		opt.Step(crf.Params())
+	}
+	got := crf.Decode(emissions)
+	for i, tag := range tags {
+		if got[i] != tag {
+			t.Fatalf("CRF failed to learn alternation: %v", got)
+		}
+	}
+}
+
+func TestSGDStepAndZero(t *testing.T) {
+	p := autodiff.NewParam("p", matrix.NewDenseData(1, 2, []float64{1, 2}))
+	p.Grad.Data[0], p.Grad.Data[1] = 0.5, -1
+	NewSGD(0.1).Step([]*autodiff.Param{p})
+	if math.Abs(p.Value.Data[0]-0.95) > 1e-12 || math.Abs(p.Value.Data[1]-2.1) > 1e-12 {
+		t.Fatalf("SGD step wrong: %v", p.Value.Data)
+	}
+	if p.Grad.Data[0] != 0 || p.Grad.Data[1] != 0 {
+		t.Fatal("SGD did not zero gradients")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (x-3)^2 + (y+1)^2.
+	p := autodiff.NewParam("p", matrix.NewDense(1, 2))
+	opt := NewAdam(0.1)
+	for it := 0; it < 500; it++ {
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - 3)
+		p.Grad.Data[1] = 2 * (p.Value.Data[1] + 1)
+		opt.Step([]*autodiff.Param{p})
+	}
+	if math.Abs(p.Value.Data[0]-3) > 1e-2 || math.Abs(p.Value.Data[1]+1) > 1e-2 {
+		t.Fatalf("Adam did not converge: %v", p.Value.Data)
+	}
+}
+
+func TestLinearTrainsXORWithHidden(t *testing.T) {
+	// 2-layer MLP learns XOR: proves the full train loop works end to end.
+	rng := rand.New(rand.NewSource(11))
+	l1 := NewLinear("l1", 2, 8, rng)
+	l2 := NewLinear("l2", 8, 2, rng)
+	params := append(l1.Params(), l2.Params()...)
+	x := matrix.NewDenseData(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	y := []int{0, 1, 1, 0}
+	opt := NewAdam(0.05)
+	for it := 0; it < 400; it++ {
+		tp := autodiff.NewTape()
+		h := tp.Tanh(l1.Forward(tp, tp.Const(x)))
+		logits := l2.Forward(tp, h)
+		loss := tp.CrossEntropy(logits, y)
+		tp.Backward(loss)
+		opt.Step(params)
+	}
+	tp := autodiff.NewTape()
+	logits := l2.Forward(tp, tp.Tanh(l1.Forward(tp, tp.Const(x)))).Value
+	for i, want := range y {
+		pred := 0
+		if logits.At(i, 1) > logits.At(i, 0) {
+			pred = 1
+		}
+		if pred != want {
+			t.Fatalf("XOR example %d misclassified", i)
+		}
+	}
+}
+
+func TestXavierInitBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := matrix.NewDense(10, 10)
+	XavierInit(m, 10, 10, rng)
+	limit := math.Sqrt(6.0 / 20.0)
+	for _, v := range m.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("init value %v outside ±%v", v, limit)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"math"
+
+	"anchor/internal/autodiff"
+)
+
+// Optimizer updates parameters from their accumulated gradients and
+// zeroes the gradients.
+type Optimizer interface {
+	Step(params []*autodiff.Param)
+}
+
+// SGD is plain stochastic gradient descent with an optional learning-rate
+// multiplier set by annealing schedules (the NER training loop uses the
+// paper's anneal-on-plateau schedule).
+type SGD struct {
+	LR float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*autodiff.Param) {
+	for _, p := range params {
+		for i := range p.Value.Data {
+			p.Value.Data[i] -= o.LR * p.Grad.Data[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015), used for the sentiment
+// models exactly as in the paper (Appendix C.3.1).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*autodiff.Param][]float64
+	v map[*autodiff.Param][]float64
+}
+
+// NewAdam returns Adam with the standard defaults and the given learning
+// rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*autodiff.Param][]float64),
+		v: make(map[*autodiff.Param][]float64),
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*autodiff.Param) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float64, len(p.Value.Data))
+			o.m[p] = m
+		}
+		v, ok := o.v[p]
+		if !ok {
+			v = make([]float64, len(p.Value.Data))
+			o.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			p.Value.Data[i] -= o.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,170 @@
+// Package selection implements the paper's two dimension–precision
+// selection tasks (Section 5.2): choosing the more stable of two candidate
+// configurations, and choosing the most stable configuration under a fixed
+// memory budget, using an embedding distance measure as the criterion
+// instead of training downstream models. It also provides the paper's
+// worst-case variants (Appendix D.5, Tables 10–11) and the high/low
+// precision baselines.
+package selection
+
+import (
+	"math"
+	"sort"
+)
+
+// Candidate is one dimension–precision configuration evaluated on a fixed
+// (task, algorithm, seed): every measure's value between the Wiki'17 and
+// Wiki'18 embeddings, plus the true downstream disagreement.
+type Candidate struct {
+	Dim       int
+	Precision int
+	// Measures maps measure name to its distance value for this pair.
+	Measures map[string]float64
+	// TrueDI is the measured downstream prediction disagreement (percent).
+	TrueDI float64
+}
+
+// MemoryBits returns the paper's memory axis: dimension × precision.
+func (c Candidate) MemoryBits() int { return c.Dim * c.Precision }
+
+// PairwiseError evaluates a measure in the paper's first setting: over all
+// unordered pairs of candidates, the fraction where the measure selects
+// the configuration with (strictly) higher true downstream instability.
+func PairwiseError(cands []Candidate, measure string) float64 {
+	errs, total := 0, 0
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			a, b := cands[i], cands[j]
+			if a.TrueDI == b.TrueDI {
+				continue // no wrong answer exists
+			}
+			total++
+			pick := a
+			if b.Measures[measure] < a.Measures[measure] {
+				pick = b
+			}
+			best := math.Min(a.TrueDI, b.TrueDI)
+			if pick.TrueDI != best {
+				errs++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(errs) / float64(total)
+}
+
+// PairwiseWorstCase returns the maximum absolute increase in downstream
+// instability incurred by following the measure over all candidate pairs
+// (Appendix D.5, Table 10).
+func PairwiseWorstCase(cands []Candidate, measure string) float64 {
+	worst := 0.0
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			a, b := cands[i], cands[j]
+			pick := a
+			if b.Measures[measure] < a.Measures[measure] {
+				pick = b
+			}
+			best := math.Min(a.TrueDI, b.TrueDI)
+			if d := pick.TrueDI - best; d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// Selector picks one candidate from a memory-budget group.
+type Selector func(group []Candidate) Candidate
+
+// MeasureSelector picks the candidate with the smallest value of the named
+// measure (ties broken toward higher precision, then lower dim, for
+// determinism).
+func MeasureSelector(measure string) Selector {
+	return func(group []Candidate) Candidate {
+		best := group[0]
+		for _, c := range group[1:] {
+			if c.Measures[measure] < best.Measures[measure] ||
+				(c.Measures[measure] == best.Measures[measure] && c.Precision > best.Precision) {
+				best = c
+			}
+		}
+		return best
+	}
+}
+
+// HighPrecision is the naive baseline that always picks the highest
+// precision available at the budget.
+func HighPrecision(group []Candidate) Candidate {
+	best := group[0]
+	for _, c := range group[1:] {
+		if c.Precision > best.Precision {
+			best = c
+		}
+	}
+	return best
+}
+
+// LowPrecision is the naive baseline that always picks the lowest
+// precision available at the budget.
+func LowPrecision(group []Candidate) Candidate {
+	best := group[0]
+	for _, c := range group[1:] {
+		if c.Precision < best.Precision {
+			best = c
+		}
+	}
+	return best
+}
+
+// BudgetGroups groups candidates by memory budget (dim × precision) and
+// returns only groups with at least two choices, sorted by budget — the
+// paper's second, harder selection setting.
+func BudgetGroups(cands []Candidate) [][]Candidate {
+	byBudget := map[int][]Candidate{}
+	for _, c := range cands {
+		byBudget[c.MemoryBits()] = append(byBudget[c.MemoryBits()], c)
+	}
+	budgets := make([]int, 0, len(byBudget))
+	for b, g := range byBudget {
+		if len(g) >= 2 {
+			budgets = append(budgets, b)
+		}
+	}
+	sort.Ints(budgets)
+	out := make([][]Candidate, 0, len(budgets))
+	for _, b := range budgets {
+		g := byBudget[b]
+		sort.Slice(g, func(i, j int) bool { return g[i].Precision < g[j].Precision })
+		out = append(out, g)
+	}
+	return out
+}
+
+// OracleDistance evaluates a selector in the budget setting: for each
+// budget group it compares the selected candidate's true instability to
+// the oracle (minimum) instability in the group, returning the mean and
+// worst absolute difference across budgets (Table 3 and Table 11).
+func OracleDistance(cands []Candidate, sel Selector) (mean, worst float64) {
+	groups := BudgetGroups(cands)
+	if len(groups) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, g := range groups {
+		oracle := g[0].TrueDI
+		for _, c := range g[1:] {
+			if c.TrueDI < oracle {
+				oracle = c.TrueDI
+			}
+		}
+		d := sel(g).TrueDI - oracle
+		sum += d
+		if d > worst {
+			worst = d
+		}
+	}
+	return sum / float64(len(groups)), worst
+}

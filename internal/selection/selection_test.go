@@ -1,0 +1,148 @@
+package selection
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mkCand builds a candidate with a single measure "m".
+func mkCand(dim, prec int, measureVal, di float64) Candidate {
+	return Candidate{
+		Dim: dim, Precision: prec,
+		Measures: map[string]float64{"m": measureVal},
+		TrueDI:   di,
+	}
+}
+
+func TestPairwiseErrorPerfectMeasure(t *testing.T) {
+	// Measure value == true DI: zero error.
+	cands := []Candidate{
+		mkCand(8, 32, 5, 5), mkCand(16, 16, 3, 3), mkCand(32, 8, 8, 8),
+	}
+	if e := PairwiseError(cands, "m"); e != 0 {
+		t.Fatalf("perfect measure error = %v", e)
+	}
+}
+
+func TestPairwiseErrorAntiMeasure(t *testing.T) {
+	// Measure inversely related to DI: always wrong.
+	cands := []Candidate{
+		mkCand(8, 32, -5, 5), mkCand(16, 16, -3, 3), mkCand(32, 8, -8, 8),
+	}
+	if e := PairwiseError(cands, "m"); e != 1 {
+		t.Fatalf("anti measure error = %v, want 1", e)
+	}
+}
+
+func TestPairwiseErrorTiesSkipped(t *testing.T) {
+	cands := []Candidate{mkCand(8, 32, 1, 4), mkCand(16, 16, 2, 4)}
+	if e := PairwiseError(cands, "m"); e != 0 {
+		t.Fatalf("tied DI should contribute no error: %v", e)
+	}
+}
+
+func TestPairwiseWorstCase(t *testing.T) {
+	cands := []Candidate{
+		mkCand(8, 32, 1, 10), // measure loves this one, but DI = 10
+		mkCand(16, 16, 2, 3),
+		mkCand(32, 8, 3, 2),
+	}
+	if w := PairwiseWorstCase(cands, "m"); w != 8 {
+		t.Fatalf("worst case = %v, want 8 (10 vs 2)", w)
+	}
+}
+
+func TestBudgetGroups(t *testing.T) {
+	cands := []Candidate{
+		mkCand(8, 32, 0, 0),  // 256 bits
+		mkCand(32, 8, 0, 0),  // 256 bits
+		mkCand(64, 4, 0, 0),  // 256 bits
+		mkCand(16, 16, 0, 0), // 256 bits
+		mkCand(8, 1, 0, 0),   // 8 bits, alone -> dropped
+	}
+	groups := BudgetGroups(cands)
+	if len(groups) != 1 || len(groups[0]) != 4 {
+		t.Fatalf("groups = %v", groups)
+	}
+	for i := 1; i < len(groups[0]); i++ {
+		if groups[0][i].Precision < groups[0][i-1].Precision {
+			t.Fatal("group not sorted by precision")
+		}
+	}
+}
+
+func TestOracleDistance(t *testing.T) {
+	cands := []Candidate{
+		mkCand(8, 32, 5, 6),  // budget 256
+		mkCand(32, 8, 1, 4),  // budget 256, measure pick, DI 4
+		mkCand(64, 4, 9, 2),  // budget 256, oracle (DI 2)
+		mkCand(16, 32, 2, 7), // budget 512
+		mkCand(64, 8, 4, 3),  // budget 512, oracle; measure picks 16x32 (DI 7)
+	}
+	mean, worst := OracleDistance(cands, MeasureSelector("m"))
+	// Budget 256: pick DI 4, oracle 2 → 2. Budget 512: pick 7, oracle 3 → 4.
+	if math.Abs(mean-3) > 1e-12 || worst != 4 {
+		t.Fatalf("mean=%v worst=%v, want 3 and 4", mean, worst)
+	}
+}
+
+func TestOracleSelectorIsZero(t *testing.T) {
+	// A selector that picks the true best must have zero distance.
+	rng := rand.New(rand.NewSource(1))
+	var cands []Candidate
+	for _, dim := range []int{8, 16, 32, 64} {
+		for _, prec := range []int{1, 2, 4, 8, 16, 32} {
+			cands = append(cands, mkCand(dim, prec, rng.Float64(), rng.Float64()*10))
+		}
+	}
+	oracle := func(g []Candidate) Candidate {
+		best := g[0]
+		for _, c := range g[1:] {
+			if c.TrueDI < best.TrueDI {
+				best = c
+			}
+		}
+		return best
+	}
+	mean, worst := OracleDistance(cands, oracle)
+	if mean != 0 || worst != 0 {
+		t.Fatalf("oracle distance = %v/%v", mean, worst)
+	}
+}
+
+func TestHighLowPrecisionSelectors(t *testing.T) {
+	g := []Candidate{mkCand(64, 4, 0, 1), mkCand(8, 32, 0, 2), mkCand(32, 8, 0, 3)}
+	if HighPrecision(g).Precision != 32 {
+		t.Fatal("HighPrecision wrong")
+	}
+	if LowPrecision(g).Precision != 4 {
+		t.Fatal("LowPrecision wrong")
+	}
+}
+
+func TestPairwiseErrorBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		cands := make([]Candidate, n)
+		for i := range cands {
+			cands[i] = mkCand(8*(1+rng.Intn(5)), 1<<uint(rng.Intn(6)), rng.NormFloat64(), rng.Float64()*20)
+		}
+		e := PairwiseError(cands, "m")
+		w := PairwiseWorstCase(cands, "m")
+		mean, worst := OracleDistance(cands, MeasureSelector("m"))
+		return e >= 0 && e <= 1 && w >= 0 && mean >= 0 && worst >= mean-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureSelectorTieBreak(t *testing.T) {
+	g := []Candidate{mkCand(64, 4, 1, 5), mkCand(8, 32, 1, 6)}
+	if MeasureSelector("m")(g).Precision != 32 {
+		t.Fatal("ties should break toward higher precision")
+	}
+}

@@ -1,0 +1,319 @@
+// Package ner implements the paper's named entity recognition downstream
+// task: a synthetic CoNLL-2003 analogue (gazetteer + template generation
+// over the shared corpus vocabulary) and the BiLSTM / BiLSTM-CRF taggers
+// (after Akbik et al. 2018) trained on top of fixed word embeddings.
+//
+// As in the paper, instability and quality are measured only over tokens
+// whose gold label is an entity (PER, ORG, LOC, MISC), not O.
+package ner
+
+import (
+	"math/rand"
+
+	"anchor/internal/autodiff"
+	"anchor/internal/corpus"
+	"anchor/internal/embedding"
+	"anchor/internal/matrix"
+	"anchor/internal/nn"
+)
+
+// Tag values. O must be zero.
+const (
+	TagO = iota
+	TagPER
+	TagORG
+	TagLOC
+	TagMISC
+	NumTags
+)
+
+// TagNames lists the human-readable tag names indexed by tag value.
+var TagNames = [NumTags]string{"O", "PER", "ORG", "LOC", "MISC"}
+
+// Example is one labeled sentence.
+type Example struct {
+	Tokens []int32
+	Tags   []int
+}
+
+// Dataset is a train/validation/test split.
+type Dataset struct {
+	Name             string
+	Train, Val, Test []Example
+}
+
+// Params controls dataset generation.
+type Params struct {
+	Name           string
+	TrainN, ValN   int
+	TestN          int
+	LenMin, LenMax int
+	// GazetteerSize is the number of distinct entities per type.
+	GazetteerSize int
+	// MentionRate is the expected number of entity mentions per sentence.
+	MentionRate float64
+	Seed        int64
+}
+
+// CoNLLParams returns the CoNLL-2003 analogue configuration.
+func CoNLLParams() Params {
+	return Params{
+		Name: "conll2003", TrainN: 220, ValN: 60, TestN: 120,
+		LenMin: 6, LenMax: 14, GazetteerSize: 30, MentionRate: 2.2, Seed: 5005,
+	}
+}
+
+// Generate builds the dataset. Each entity type's gazetteer is drawn from
+// two dedicated topics of the corpus, so entity identity is recoverable
+// from embedding geometry; entities are 1–2 token sequences.
+func Generate(c *corpus.Corpus, ccfg corpus.Config, p Params) *Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	top := c.TopWords(ccfg.VocabSize)
+
+	// Filler (O) words are the most frequent words; gazetteer entities are
+	// drawn strictly from the mid-frequency band below them so a word is
+	// never both filler and entity (in CoNLL, names and function words are
+	// likewise near-disjoint).
+	const fillerCut = 60
+
+	// Partition candidate words by topic group: type k draws from topics
+	// {2k, 2k+1} mod NumTopics.
+	byType := make([][]int32, 4)
+	for _, w := range top[fillerCut:] {
+		topic := corpus.PrimaryTopic(ccfg, w, corpus.Wiki17)
+		ty := (topic / 2) % 4
+		if len(byType[ty]) < 3*p.GazetteerSize {
+			byType[ty] = append(byType[ty], int32(w))
+		}
+	}
+	// Build gazetteers: each entity is 1 or 2 tokens from its type pool.
+	gaz := make([][][]int32, 4)
+	for ty := 0; ty < 4; ty++ {
+		pool := byType[ty]
+		if len(pool) < 4 {
+			panic("ner: not enough candidate words for gazetteer")
+		}
+		for e := 0; e < p.GazetteerSize; e++ {
+			n := 1 + rng.Intn(2)
+			ent := make([]int32, n)
+			for j := range ent {
+				ent[j] = pool[rng.Intn(len(pool))]
+			}
+			gaz[ty] = append(gaz[ty], ent)
+		}
+	}
+
+	filler := top[:fillerCut]
+	gen := func(n int) []Example {
+		out := make([]Example, n)
+		for i := range out {
+			length := p.LenMin + rng.Intn(p.LenMax-p.LenMin+1)
+			toks := make([]int32, 0, length+4)
+			tags := make([]int, 0, length+4)
+			mentions := 0
+			for len(toks) < length {
+				if float64(mentions) < p.MentionRate && rng.Float64() < p.MentionRate/float64(length) {
+					ty := rng.Intn(4)
+					ent := gaz[ty][rng.Intn(len(gaz[ty]))]
+					for _, w := range ent {
+						toks = append(toks, w)
+						tags = append(tags, ty+1) // TagPER..TagMISC
+					}
+					mentions++
+				} else {
+					toks = append(toks, int32(filler[rng.Intn(len(filler))]))
+					tags = append(tags, TagO)
+				}
+			}
+			out[i] = Example{Tokens: toks, Tags: tags}
+		}
+		return out
+	}
+	return &Dataset{Name: p.Name, Train: gen(p.TrainN), Val: gen(p.ValN), Test: gen(p.TestN)}
+}
+
+// Config configures the BiLSTM tagger. UseCRF switches to the BiLSTM-CRF
+// variant of Appendix E.2.
+type Config struct {
+	Hidden int
+	LR     float64
+	Epochs int
+	UseCRF bool
+	// Patience and AnnealFactor implement the paper's anneal-on-plateau
+	// schedule (Appendix C.3.2): if validation loss fails to improve for
+	// Patience epochs, the learning rate is multiplied by AnnealFactor.
+	Patience     int
+	AnnealFactor float64
+	Seed         int64
+}
+
+// DefaultConfig mirrors the paper's NER training setup scaled down.
+func DefaultConfig(seed int64) Config {
+	return Config{Hidden: 10, LR: 0.4, Epochs: 10, Patience: 2, AnnealFactor: 0.5, Seed: seed}
+}
+
+// Tagger is a trained BiLSTM (optionally +CRF) NER model over fixed
+// embeddings.
+type Tagger struct {
+	emb *embedding.Embedding
+	bi  *nn.BiLSTM
+	out *nn.Linear
+	crf *nn.CRF // nil without CRF
+}
+
+// Train fits the tagger on ds.Train with the fixed embedding.
+func Train(emb *embedding.Embedding, ds *Dataset, cfg Config) *Tagger {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Tagger{
+		emb: emb,
+		bi:  nn.NewBiLSTM("bi", emb.Dim(), cfg.Hidden, rng),
+		out: nn.NewLinear("out", 2*cfg.Hidden, NumTags, rng),
+	}
+	if cfg.UseCRF {
+		m.crf = nn.NewCRF("crf", NumTags, rng)
+	}
+	params := append(m.bi.Params(), m.out.Params()...)
+	if m.crf != nil {
+		params = append(params, m.crf.Params()...)
+	}
+	opt := nn.NewSGD(cfg.LR)
+
+	idx := make([]int, len(ds.Train))
+	for i := range idx {
+		idx[i] = i
+	}
+	bestVal := 1e30
+	sincePlateau := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for _, i := range idx {
+			ex := ds.Train[i]
+			if len(ex.Tokens) == 0 {
+				continue
+			}
+			tp := autodiff.NewTape()
+			emissions := m.emissions(tp, ex.Tokens)
+			var loss *autodiff.Node
+			if m.crf != nil {
+				loss = m.crf.NegLogLikelihood(tp, emissions, ex.Tags)
+			} else {
+				loss = tp.CrossEntropy(emissions, ex.Tags)
+			}
+			tp.Backward(loss)
+			opt.Step(params)
+		}
+		// Anneal on validation plateau.
+		val := m.valLoss(ds.Val)
+		if val < bestVal-1e-4 {
+			bestVal = val
+			sincePlateau = 0
+		} else {
+			sincePlateau++
+			if sincePlateau >= cfg.Patience {
+				opt.LR *= cfg.AnnealFactor
+				sincePlateau = 0
+			}
+		}
+	}
+	return m
+}
+
+func (m *Tagger) emissions(tp *autodiff.Tape, tokens []int32) *autodiff.Node {
+	seq := matrix.NewDense(len(tokens), m.emb.Dim())
+	for i, tk := range tokens {
+		copy(seq.Row(i), m.emb.Vector(int(tk)))
+	}
+	h := m.bi.Forward(tp, tp.Const(seq))
+	return m.out.Forward(tp, h)
+}
+
+func (m *Tagger) valLoss(val []Example) float64 {
+	var total float64
+	n := 0
+	for _, ex := range val {
+		if len(ex.Tokens) == 0 {
+			continue
+		}
+		tp := autodiff.NewTape()
+		emissions := m.emissions(tp, ex.Tokens)
+		if m.crf != nil {
+			total += m.crf.NegLogLikelihood(tp, emissions, ex.Tags).Value.At(0, 0)
+		} else {
+			total += tp.CrossEntropy(emissions, ex.Tags).Value.At(0, 0)
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Predict returns the predicted tag sequence for one sentence.
+func (m *Tagger) Predict(tokens []int32) []int {
+	if len(tokens) == 0 {
+		return nil
+	}
+	tp := autodiff.NewTape()
+	emissions := m.emissions(tp, tokens).Value
+	if m.crf != nil {
+		return m.crf.Decode(emissions)
+	}
+	out := make([]int, len(tokens))
+	for i := 0; i < emissions.Rows; i++ {
+		best := 0
+		for j := 1; j < NumTags; j++ {
+			if emissions.At(i, j) > emissions.At(i, best) {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// EntityPredictions returns the model's predictions flattened over the
+// tokens whose GOLD tag is an entity — the prediction set the paper
+// measures NER instability on.
+func (m *Tagger) EntityPredictions(examples []Example) []int {
+	var out []int
+	for _, ex := range examples {
+		preds := m.Predict(ex.Tokens)
+		for i, gold := range ex.Tags {
+			if gold != TagO {
+				out = append(out, preds[i])
+			}
+		}
+	}
+	return out
+}
+
+// EntityTokenF1 returns the micro-averaged F1 over entity classes at the
+// token level (precision/recall of entity-tagged tokens), the quality
+// metric for the Figure 8 analogue.
+func (m *Tagger) EntityTokenF1(examples []Example) float64 {
+	var tp, fp, fn float64
+	for _, ex := range examples {
+		preds := m.Predict(ex.Tokens)
+		for i, gold := range ex.Tags {
+			pred := preds[i]
+			switch {
+			case gold != TagO && pred == gold:
+				tp++
+			case gold != TagO && pred != gold:
+				fn++
+				if pred != TagO {
+					fp++
+				}
+			case gold == TagO && pred != TagO:
+				fp++
+			}
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	prec := tp / (tp + fp)
+	rec := tp / (tp + fn)
+	return 2 * prec * rec / (prec + rec)
+}

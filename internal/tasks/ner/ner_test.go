@@ -1,0 +1,147 @@
+package ner
+
+import (
+	"testing"
+
+	"anchor/internal/core"
+	"anchor/internal/corpus"
+	"anchor/internal/embtrain"
+)
+
+func testSetup(t *testing.T) (corpus.Config, *corpus.Corpus, *Dataset) {
+	t.Helper()
+	cfg := corpus.TestConfig()
+	c := corpus.Generate(cfg, corpus.Wiki17)
+	p := CoNLLParams()
+	p.TrainN, p.ValN, p.TestN = 120, 30, 60
+	return cfg, c, Generate(c, cfg, p)
+}
+
+func TestGenerateWellFormed(t *testing.T) {
+	_, _, ds := testSetup(t)
+	entityTokens := 0
+	total := 0
+	for _, ex := range ds.Train {
+		if len(ex.Tokens) != len(ex.Tags) {
+			t.Fatal("tokens/tags length mismatch")
+		}
+		for _, tag := range ex.Tags {
+			if tag < 0 || tag >= NumTags {
+				t.Fatalf("invalid tag %d", tag)
+			}
+			if tag != TagO {
+				entityTokens++
+			}
+			total++
+		}
+	}
+	frac := float64(entityTokens) / float64(total)
+	if frac < 0.05 || frac > 0.6 {
+		t.Fatalf("entity token fraction %.3f implausible", frac)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := corpus.TestConfig()
+	c := corpus.Generate(cfg, corpus.Wiki17)
+	a := Generate(c, cfg, CoNLLParams())
+	b := Generate(c, cfg, CoNLLParams())
+	for i := range a.Train {
+		for j := range a.Train[i].Tokens {
+			if a.Train[i].Tokens[j] != b.Train[i].Tokens[j] || a.Train[i].Tags[j] != b.Train[i].Tags[j] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestBiLSTMLearnsEntities(t *testing.T) {
+	cfg, c, ds := testSetup(t)
+	_ = cfg
+	emb := embtrain.NewMC().Train(c, 16, 1)
+	m := Train(emb, ds, DefaultConfig(1))
+	f1 := m.EntityTokenF1(ds.Test)
+	if f1 < 0.35 {
+		t.Fatalf("BiLSTM entity F1 %.3f too low", f1)
+	}
+	t.Logf("BiLSTM entity token F1: %.3f", f1)
+}
+
+func TestEntityPredictionsOnlyGoldEntities(t *testing.T) {
+	_, c, ds := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 8, 1)
+	cfg := DefaultConfig(1)
+	cfg.Epochs = 2
+	m := Train(emb, ds, cfg)
+	preds := m.EntityPredictions(ds.Test)
+	want := 0
+	for _, ex := range ds.Test {
+		for _, tag := range ex.Tags {
+			if tag != TagO {
+				want++
+			}
+		}
+	}
+	if len(preds) != want {
+		t.Fatalf("entity predictions %d != gold entity tokens %d", len(preds), want)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	_, c, ds := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 8, 1)
+	cfg := DefaultConfig(2)
+	cfg.Epochs = 2
+	a := Train(emb, ds, cfg)
+	b := Train(emb, ds, cfg)
+	if core.PredictionDisagreement(a.EntityPredictions(ds.Test), b.EntityPredictions(ds.Test)) != 0 {
+		t.Fatal("same-seed training should be deterministic")
+	}
+}
+
+func TestCRFVariantTrains(t *testing.T) {
+	_, c, ds := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 16, 1)
+	cfg := DefaultConfig(1)
+	cfg.UseCRF = true
+	cfg.Epochs = 4
+	m := Train(emb, ds, cfg)
+	f1 := m.EntityTokenF1(ds.Test)
+	if f1 < 0.3 {
+		t.Fatalf("BiLSTM-CRF entity F1 %.3f too low", f1)
+	}
+	t.Logf("BiLSTM-CRF entity token F1: %.3f", f1)
+}
+
+func TestNERInstabilityPipeline(t *testing.T) {
+	cfg := corpus.TestConfig()
+	c17 := corpus.Generate(cfg, corpus.Wiki17)
+	c18 := corpus.Generate(cfg, corpus.Wiki18)
+	tr := embtrain.NewMC()
+	e17 := tr.Train(c17, 16, 1)
+	e18 := tr.Train(c18, 16, 1)
+	e18.AlignTo(e17)
+	p := CoNLLParams()
+	p.TrainN, p.ValN, p.TestN = 100, 25, 60
+	ds := Generate(c17, cfg, p)
+	mcfg := DefaultConfig(1)
+	mcfg.Epochs = 5
+	m17 := Train(e17, ds, mcfg)
+	m18 := Train(e18, ds, mcfg)
+	di := core.PredictionDisagreementPct(m17.EntityPredictions(ds.Test), m18.EntityPredictions(ds.Test))
+	if di >= 80 {
+		t.Fatalf("NER instability %.1f%% implausibly high", di)
+	}
+	t.Logf("NER downstream instability: %.2f%%", di)
+}
+
+func TestPredictEmptySentence(t *testing.T) {
+	_, c, ds := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 8, 1)
+	cfg := DefaultConfig(1)
+	cfg.Epochs = 1
+	m := Train(emb, ds, cfg)
+	if got := m.Predict(nil); got != nil {
+		t.Fatalf("Predict(nil) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,259 @@
+package sentiment
+
+import (
+	"math/rand"
+
+	"anchor/internal/autodiff"
+	"anchor/internal/embedding"
+	"anchor/internal/floats"
+	"anchor/internal/matrix"
+	"anchor/internal/nn"
+)
+
+// LinearBOWConfig configures the paper's linear bag-of-words sentiment
+// model (Appendix C.3.1): average the fixed word embeddings of a sentence
+// and classify with a linear layer trained by Adam.
+type LinearBOWConfig struct {
+	LR     float64
+	Epochs int
+	Batch  int
+	// Seed controls model initialization and batch order. The paper ties
+	// this to the embedding seed; Appendix E.3 varies them independently.
+	Seed int64
+	// SampleSeed, when nonzero, decouples the batch-order randomness from
+	// Seed (used by the Table 13 randomness-source experiment).
+	SampleSeed int64
+}
+
+// DefaultLinearBOWConfig mirrors the paper's shared hyperparameters
+// (Adam, batch 32) with epochs scaled to the synthetic datasets.
+func DefaultLinearBOWConfig(seed int64) LinearBOWConfig {
+	return LinearBOWConfig{LR: 0.01, Epochs: 40, Batch: 32, Seed: seed}
+}
+
+// LinearBOW is a trained linear bag-of-words classifier over fixed
+// embeddings.
+type LinearBOW struct {
+	emb *embedding.Embedding
+	lin *nn.Linear
+}
+
+// features returns the averaged embedding for each example.
+func features(emb *embedding.Embedding, examples []Example) *matrix.Dense {
+	out := matrix.NewDense(len(examples), emb.Dim())
+	for i, ex := range examples {
+		row := out.Row(i)
+		for _, tok := range ex.Tokens {
+			floats.Add(row, emb.Vector(int(tok)))
+		}
+		if len(ex.Tokens) > 0 {
+			floats.Scale(1/float64(len(ex.Tokens)), row)
+		}
+	}
+	return out
+}
+
+// TrainLinearBOW trains the model on ds.Train with fixed embeddings.
+// Because the embeddings are frozen, sentence features are precomputed
+// once, making the grid experiments cheap.
+func TrainLinearBOW(emb *embedding.Embedding, ds *Dataset, cfg LinearBOWConfig) *LinearBOW {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sampleRng := rng
+	if cfg.SampleSeed != 0 {
+		sampleRng = rand.New(rand.NewSource(cfg.SampleSeed))
+	}
+	lin := nn.NewLinear("bow", emb.Dim(), 2, rng)
+	opt := nn.NewAdam(cfg.LR)
+
+	x := features(emb, ds.Train)
+	labels := make([]int, len(ds.Train))
+	for i, ex := range ds.Train {
+		labels[i] = ex.Label
+	}
+
+	idx := make([]int, len(ds.Train))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		sampleRng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for s := 0; s < len(idx); s += cfg.Batch {
+			e := min(s+cfg.Batch, len(idx))
+			bx := matrix.NewDense(e-s, emb.Dim())
+			by := make([]int, e-s)
+			for i := s; i < e; i++ {
+				copy(bx.Row(i-s), x.Row(idx[i]))
+				by[i-s] = labels[idx[i]]
+			}
+			tp := autodiff.NewTape()
+			loss := tp.CrossEntropy(lin.Forward(tp, tp.Const(bx)), by)
+			tp.Backward(loss)
+			opt.Step(lin.Params())
+		}
+	}
+	return &LinearBOW{emb: emb, lin: lin}
+}
+
+// Predict returns the predicted labels for the examples.
+func (m *LinearBOW) Predict(examples []Example) []int {
+	x := features(m.emb, examples)
+	tp := autodiff.NewTape()
+	logits := m.lin.Forward(tp, tp.Const(x)).Value
+	out := make([]int, len(examples))
+	for i := range out {
+		if logits.At(i, 1) > logits.At(i, 0) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Accuracy returns classification accuracy on the examples.
+func (m *LinearBOW) Accuracy(examples []Example) float64 {
+	preds := m.Predict(examples)
+	correct := 0
+	for i, ex := range examples {
+		if preds[i] == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+// TrainLinearBOWFineTuned trains the same model but lets gradients update
+// a private copy of the embedding matrix (the Appendix E.4 fine-tuning
+// study). It returns the trained model (holding the fine-tuned copy).
+func TrainLinearBOWFineTuned(emb *embedding.Embedding, ds *Dataset, cfg LinearBOWConfig) *LinearBOW {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lin := nn.NewLinear("bow", emb.Dim(), 2, rng)
+	tuned := emb.Clone()
+	embParam := autodiff.NewParam("emb", tuned.Vectors)
+	params := append(lin.Params(), embParam)
+	opt := nn.NewAdam(cfg.LR)
+
+	idx := make([]int, len(ds.Train))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for s := 0; s < len(idx); s += cfg.Batch {
+			e := min(s+cfg.Batch, len(idx))
+			tp := autodiff.NewTape()
+			embNode := tp.Use(embParam)
+			rows := make([]*autodiff.Node, e-s)
+			by := make([]int, e-s)
+			for i := s; i < e; i++ {
+				ex := ds.Train[idx[i]]
+				toks := make([]int, len(ex.Tokens))
+				for j, tk := range ex.Tokens {
+					toks[j] = int(tk)
+				}
+				rows[i-s] = tp.MeanRows(tp.GatherRows(embNode, toks))
+				by[i-s] = ex.Label
+			}
+			tp2 := tp.ConcatRows(rows...)
+			loss := tp.CrossEntropy(lin.Forward(tp, tp2), by)
+			tp.Backward(loss)
+			opt.Step(params)
+		}
+	}
+	return &LinearBOW{emb: tuned, lin: lin}
+}
+
+// CNNConfig configures the Kim (2014) convolutional sentence classifier
+// used in the robustness appendix.
+type CNNConfig struct {
+	LR      float64
+	Epochs  int
+	Batch   int
+	Widths  []int
+	Filters int
+	Dropout float64
+	Seed    int64
+}
+
+// DefaultCNNConfig mirrors Appendix E.2's CNN (widths 3/4/5, 100 filters)
+// scaled down for the synthetic datasets.
+func DefaultCNNConfig(seed int64) CNNConfig {
+	return CNNConfig{
+		LR: 0.005, Epochs: 8, Batch: 16,
+		Widths: []int{2, 3, 4}, Filters: 24, Dropout: 0.3, Seed: seed,
+	}
+}
+
+// CNN is a trained convolutional sentence classifier over fixed embeddings.
+type CNN struct {
+	emb  *embedding.Embedding
+	conv *nn.Conv1D
+	out  *nn.Linear
+}
+
+// TrainCNN trains the CNN sentiment model with fixed embeddings.
+func TrainCNN(emb *embedding.Embedding, ds *Dataset, cfg CNNConfig) *CNN {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	conv := nn.NewConv1D("conv", cfg.Widths, emb.Dim(), cfg.Filters, rng)
+	out := nn.NewLinear("out", len(cfg.Widths)*cfg.Filters, 2, rng)
+	params := append(conv.Params(), out.Params()...)
+	opt := nn.NewAdam(cfg.LR)
+	dropRng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	idx := make([]int, len(ds.Train))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for s := 0; s < len(idx); s += cfg.Batch {
+			e := min(s+cfg.Batch, len(idx))
+			tp := autodiff.NewTape()
+			feats := make([]*autodiff.Node, e-s)
+			by := make([]int, e-s)
+			for i := s; i < e; i++ {
+				ex := ds.Train[idx[i]]
+				seq := tp.Const(tokenMatrix(emb, ex.Tokens))
+				f := conv.Forward(tp, seq)
+				feats[i-s] = tp.Dropout(f, cfg.Dropout, dropRng)
+				by[i-s] = ex.Label
+			}
+			loss := tp.CrossEntropy(out.Forward(tp, tp.ConcatRows(feats...)), by)
+			tp.Backward(loss)
+			opt.Step(params)
+		}
+	}
+	return &CNN{emb: emb, conv: conv, out: out}
+}
+
+func tokenMatrix(emb *embedding.Embedding, tokens []int32) *matrix.Dense {
+	m := matrix.NewDense(len(tokens), emb.Dim())
+	for i, tk := range tokens {
+		copy(m.Row(i), emb.Vector(int(tk)))
+	}
+	return m
+}
+
+// Predict returns predicted labels for the examples.
+func (m *CNN) Predict(examples []Example) []int {
+	out := make([]int, len(examples))
+	for i, ex := range examples {
+		tp := autodiff.NewTape()
+		f := m.conv.Forward(tp, tp.Const(tokenMatrix(m.emb, ex.Tokens)))
+		logits := m.out.Forward(tp, f).Value
+		if logits.At(0, 1) > logits.At(0, 0) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Accuracy returns classification accuracy on the examples.
+func (m *CNN) Accuracy(examples []Example) float64 {
+	preds := m.Predict(examples)
+	correct := 0
+	for i, ex := range examples {
+		if preds[i] == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}

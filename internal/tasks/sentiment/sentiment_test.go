@@ -1,0 +1,161 @@
+package sentiment
+
+import (
+	"testing"
+
+	"anchor/internal/core"
+	"anchor/internal/corpus"
+	"anchor/internal/embtrain"
+)
+
+func testSetup(t *testing.T) (corpus.Config, *corpus.Corpus) {
+	t.Helper()
+	cfg := corpus.TestConfig()
+	return cfg, corpus.Generate(cfg, corpus.Wiki17)
+}
+
+func TestGenerateShapesAndBalance(t *testing.T) {
+	cfg, c := testSetup(t)
+	for _, p := range AllParams() {
+		ds := Generate(c, cfg, p)
+		if len(ds.Train) != p.TrainN || len(ds.Val) != p.ValN || len(ds.Test) != p.TestN {
+			t.Fatalf("%s: split sizes wrong", p.Name)
+		}
+		pos := 0
+		for _, ex := range ds.Train {
+			if ex.Label == 1 {
+				pos++
+			}
+			if len(ex.Tokens) < p.LenMin || len(ex.Tokens) > p.LenMax {
+				t.Fatalf("%s: example length %d out of bounds", p.Name, len(ex.Tokens))
+			}
+		}
+		frac := float64(pos) / float64(len(ds.Train))
+		if frac < 0.45 || frac > 0.55 {
+			t.Fatalf("%s: unbalanced labels: %.2f positive", p.Name, frac)
+		}
+		if len(ds.PosLex) != p.LexiconSize || len(ds.NegLex) != p.LexiconSize {
+			t.Fatalf("%s: lexicon sizes %d/%d", p.Name, len(ds.PosLex), len(ds.NegLex))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg, c := testSetup(t)
+	a := Generate(c, cfg, SST2Params())
+	b := Generate(c, cfg, SST2Params())
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label || len(a.Train[i].Tokens) != len(b.Train[i].Tokens) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestLexiconsDisjoint(t *testing.T) {
+	cfg, c := testSetup(t)
+	ds := Generate(c, cfg, SST2Params())
+	inPos := map[int32]bool{}
+	for _, w := range ds.PosLex {
+		inPos[w] = true
+	}
+	for _, w := range ds.NegLex {
+		if inPos[w] {
+			t.Fatalf("word %d in both lexicons", w)
+		}
+	}
+}
+
+func TestLinearBOWLearns(t *testing.T) {
+	cfg, c := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 16, 1)
+	ds := Generate(c, cfg, SST2Params())
+	m := TrainLinearBOW(emb, ds, DefaultLinearBOWConfig(1))
+	acc := m.Accuracy(ds.Test)
+	if acc < 0.65 {
+		t.Fatalf("linear BOW test accuracy %.3f too low", acc)
+	}
+	t.Logf("linear BOW accuracy: %.3f", acc)
+}
+
+func TestLinearBOWDeterministic(t *testing.T) {
+	cfg, c := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 8, 1)
+	ds := Generate(c, cfg, MPQAParams())
+	a := TrainLinearBOW(emb, ds, DefaultLinearBOWConfig(3))
+	b := TrainLinearBOW(emb, ds, DefaultLinearBOWConfig(3))
+	pa, pb := a.Predict(ds.Test), b.Predict(ds.Test)
+	if core.PredictionDisagreement(pa, pb) != 0 {
+		t.Fatal("same seed should give identical models")
+	}
+}
+
+func TestLinearBOWSeedSensitivity(t *testing.T) {
+	cfg, c := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 8, 1)
+	ds := Generate(c, cfg, SST2Params())
+	a := TrainLinearBOW(emb, ds, DefaultLinearBOWConfig(1))
+	b := TrainLinearBOW(emb, ds, DefaultLinearBOWConfig(2))
+	// Different downstream seeds may disagree a little, but both should
+	// still be reasonable models (Appendix E.3 quantifies this).
+	if a.Accuracy(ds.Test) < 0.6 || b.Accuracy(ds.Test) < 0.6 {
+		t.Fatal("seed change destroyed accuracy")
+	}
+}
+
+func TestDownstreamInstabilityPipeline(t *testing.T) {
+	// End-to-end Definition 1: train on Wiki'17 and Wiki'18 embeddings,
+	// measure prediction disagreement. It should be nonzero (instability
+	// exists) but far below chance (models mostly agree).
+	cfg := corpus.TestConfig()
+	c17 := corpus.Generate(cfg, corpus.Wiki17)
+	c18 := corpus.Generate(cfg, corpus.Wiki18)
+	tr := embtrain.NewMC()
+	e17 := tr.Train(c17, 16, 1)
+	e18 := tr.Train(c18, 16, 1)
+	e18.AlignTo(e17)
+
+	ds := Generate(c17, cfg, SST2Params())
+	m17 := TrainLinearBOW(e17, ds, DefaultLinearBOWConfig(1))
+	m18 := TrainLinearBOW(e18, ds, DefaultLinearBOWConfig(1))
+	di := core.PredictionDisagreementPct(m17.Predict(ds.Test), m18.Predict(ds.Test))
+	if di <= 0 {
+		t.Fatal("expected nonzero downstream instability")
+	}
+	if di >= 50 {
+		t.Fatalf("downstream instability %.1f%% at chance level", di)
+	}
+	t.Logf("SST-2 downstream instability: %.2f%%", di)
+}
+
+func TestFineTunedTrainsAndImproves(t *testing.T) {
+	cfg, c := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 8, 1)
+	ds := Generate(c, cfg, MPQAParams())
+	cfgM := DefaultLinearBOWConfig(1)
+	cfgM.Epochs = 15
+	m := TrainLinearBOWFineTuned(emb, ds, cfgM)
+	if acc := m.Accuracy(ds.Test); acc < 0.6 {
+		t.Fatalf("fine-tuned accuracy %.3f too low", acc)
+	}
+	// Fine-tuning must not mutate the original embedding.
+	emb2 := embtrain.NewMC().Train(c, 8, 1)
+	for i := range emb.Vectors.Data {
+		if emb.Vectors.Data[i] != emb2.Vectors.Data[i] {
+			t.Fatal("fine-tuning mutated the shared embedding")
+		}
+	}
+}
+
+func TestCNNLearns(t *testing.T) {
+	cfg, c := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 16, 1)
+	p := MPQAParams() // short sentences keep the CNN fast
+	p.TrainN, p.TestN = 200, 100
+	ds := Generate(c, cfg, p)
+	m := TrainCNN(emb, ds, DefaultCNNConfig(1))
+	acc := m.Accuracy(ds.Test)
+	if acc < 0.6 {
+		t.Fatalf("CNN accuracy %.3f too low", acc)
+	}
+	t.Logf("CNN accuracy: %.3f", acc)
+}
