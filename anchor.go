@@ -10,7 +10,10 @@
 // The package is a facade over the internal implementation:
 //
 //   - corpora:   synthetic Wikipedia-snapshot pairs with controlled drift
-//   - trainers:  CBOW, GloVe, matrix completion (MC), fastText subword
+//   - trainers:  CBOW, GloVe, matrix completion (MC), fastText subword —
+//     all running on the deterministic sharded engine in internal/parallel,
+//     so training uses every core yet stays bitwise reproducible for any
+//     worker count
 //   - compression: uniform quantization with shared clipping thresholds
 //   - measures:  eigenspace instability, k-NN, semantic displacement,
 //     PIP loss, eigenspace overlap
@@ -88,9 +91,20 @@ func GenerateCorpus(cfg CorpusConfig, year corpus.Year) *Corpus {
 func Algorithms() []string { return []string{"cbow", "glove", "mc", "fasttext"} }
 
 // TrainEmbedding trains an embedding with the named algorithm's default
-// configuration. The result is deterministic in (corpus, dim, seed).
+// configuration on all CPUs. The result is deterministic in (corpus, dim,
+// seed): training runs over a fixed set of seed-derived shards whose
+// deltas merge in a fixed order, so the embedding is bitwise identical no
+// matter how many cores execute it (see TrainEmbeddingWorkers to bound
+// the core count).
 func TrainEmbedding(algo string, c *Corpus, dim int, seed int64) (*Embedding, error) {
-	tr, ok := embtrain.ByName(algo)
+	return TrainEmbeddingWorkers(algo, c, dim, seed, 0)
+}
+
+// TrainEmbeddingWorkers is TrainEmbedding with an explicit goroutine
+// budget (workers <= 0 selects all CPUs). Worker count is a pure
+// throughput knob: it never changes the trained embedding.
+func TrainEmbeddingWorkers(algo string, c *Corpus, dim int, seed int64, workers int) (*Embedding, error) {
+	tr, ok := embtrain.ByNameWorkers(algo, workers)
 	if !ok {
 		return nil, fmt.Errorf("anchor: unknown algorithm %q (have %v)", algo, Algorithms())
 	}

@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"anchor/internal/compress"
+	"anchor/internal/cooc"
 	"anchor/internal/core"
 	"anchor/internal/corpus"
 	"anchor/internal/embedding"
@@ -166,33 +167,68 @@ func benchCorpus() *corpus.Corpus {
 	return corpus.Generate(cfg, corpus.Wiki17)
 }
 
-func BenchmarkTrainCBOW(b *testing.B) {
+// benchTrainWorkers runs one trainer benchmark per worker count. The
+// embeddings are bitwise identical across the sub-benchmarks (the engine's
+// determinism contract); only the wall clock should differ, so the
+// workers=1 vs workers=4 ratio is the training speedup on multicore
+// hardware.
+func benchTrainWorkers(b *testing.B, mk func(workers int) embtrain.Trainer) {
 	c := benchCorpus()
-	tr := embtrain.NewCBOW()
-	tr.Epochs = 2
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tr.Train(c, 16, 1)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			tr := mk(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Train(c, 16, 1)
+			}
+		})
 	}
+}
+
+func BenchmarkTrainCBOW(b *testing.B) {
+	benchTrainWorkers(b, func(w int) embtrain.Trainer {
+		tr := embtrain.NewCBOW()
+		tr.Epochs = 2
+		tr.Workers = w
+		return tr
+	})
 }
 
 func BenchmarkTrainGloVe(b *testing.B) {
-	c := benchCorpus()
-	tr := embtrain.NewGloVe()
-	tr.Epochs = 2
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tr.Train(c, 16, 1)
-	}
+	benchTrainWorkers(b, func(w int) embtrain.Trainer {
+		tr := embtrain.NewGloVe()
+		tr.Epochs = 2
+		tr.Workers = w
+		return tr
+	})
 }
 
 func BenchmarkTrainMC(b *testing.B) {
+	benchTrainWorkers(b, func(w int) embtrain.Trainer {
+		tr := embtrain.NewMC()
+		tr.Epochs = 2
+		tr.Workers = w
+		return tr
+	})
+}
+
+func BenchmarkTrainFastText(b *testing.B) {
+	benchTrainWorkers(b, func(w int) embtrain.Trainer {
+		tr := embtrain.NewFastText()
+		tr.Epochs = 2
+		tr.Workers = w
+		return tr
+	})
+}
+
+func BenchmarkCoocCount(b *testing.B) {
 	c := benchCorpus()
-	tr := embtrain.NewMC()
-	tr.Epochs = 2
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tr.Train(c, 16, 1)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cooc.CountWorkers(c, 5, cooc.InverseDistance, w)
+			}
+		})
 	}
 }
 

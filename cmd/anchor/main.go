@@ -79,6 +79,7 @@ func cmdTrain(args []string) error {
 	seed := fs.Int64("seed", 1, "training seed")
 	year := fs.Int("year", 2017, "corpus snapshot year (2017 or 2018)")
 	out := fs.String("out", "emb.gob", "output path")
+	workers := fs.Int("workers", 0, "training goroutines (0 = all CPUs; result is identical for any value)")
 	fs.Parse(args)
 
 	c, _, err := corpusFor(*year)
@@ -86,7 +87,7 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	fmt.Printf("training %s dim=%d seed=%d on %d tokens...\n", *algo, *dim, *seed, c.Tokens)
-	e, err := anchor.TrainEmbedding(*algo, c, *dim, *seed)
+	e, err := anchor.TrainEmbeddingWorkers(*algo, c, *dim, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -139,17 +140,18 @@ func cmdStability(args []string) error {
 	bits := fs.Int("bits", 32, "precision in bits")
 	seed := fs.Int64("seed", 1, "seed for embeddings and downstream model")
 	task := fs.String("task", "sst2", "downstream task: sst2, mr, subj, mpqa, conll2003")
+	workers := fs.Int("workers", 0, "training goroutines (0 = all CPUs; result is identical for any value)")
 	fs.Parse(args)
 
 	cfg := anchor.DefaultCorpusConfig()
 	c17 := anchor.GenerateCorpus(cfg, anchor.Wiki17)
 	c18 := anchor.GenerateCorpus(cfg, anchor.Wiki18)
 	fmt.Printf("training %s dim=%d on Wiki'17 and Wiki'18...\n", *algo, *dim)
-	e17, err := anchor.TrainEmbedding(*algo, c17, *dim, *seed)
+	e17, err := anchor.TrainEmbeddingWorkers(*algo, c17, *dim, *seed, *workers)
 	if err != nil {
 		return err
 	}
-	e18, err := anchor.TrainEmbedding(*algo, c18, *dim, *seed)
+	e18, err := anchor.TrainEmbeddingWorkers(*algo, c18, *dim, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -194,6 +196,7 @@ func cmdExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	id := fs.String("id", "fig1", "artifact id: "+strings.Join(anchor.ExperimentIDs(), ", "))
 	config := fs.String("config", "small", "config scale: small, bench, repro")
+	workers := fs.Int("workers", 0, "training goroutines (0 = all CPUs; result is identical for any value)")
 	fs.Parse(args)
 	var cfg anchor.ExperimentConfig
 	switch *config {
@@ -206,5 +209,6 @@ func cmdExperiment(args []string) error {
 	default:
 		return fmt.Errorf("unknown config %q", *config)
 	}
+	cfg.Workers = *workers
 	return anchor.RunExperiment(cfg, *id, os.Stdout)
 }

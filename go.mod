@@ -1,0 +1,3 @@
+module anchor
+
+go 1.24

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"anchor/internal/corpus"
+	"anchor/internal/parallel"
 )
 
 // Weighting selects how a co-occurrence at distance k within the window
@@ -44,30 +45,52 @@ func (m *Matrix) NNZ() int { return len(m.Entries) }
 
 // Count accumulates windowed co-occurrence counts over the corpus.
 // Co-occurrences are symmetric; each unordered pair is stored once with
-// Row <= Col and carries the summed weight of both directions.
+// Row <= Col and carries the summed weight of both directions. Counting
+// runs on all CPUs; see CountWorkers for the determinism contract.
 func Count(c *corpus.Corpus, window int, w Weighting) *Matrix {
-	acc := make(map[uint64]float64)
+	return CountWorkers(c, window, w, 0)
+}
+
+// CountWorkers is Count with an explicit goroutine budget (workers <= 0
+// selects all CPUs). Sentences are partitioned into a fixed number of
+// shards; each shard accumulates into its own map and the per-shard maps
+// are merged in ascending shard order, so for every key the summation
+// order — and therefore the result — is bitwise identical for any worker
+// count.
+func CountWorkers(c *corpus.Corpus, window int, w Weighting, workers int) *Matrix {
 	key := func(i, j int32) uint64 {
 		if i > j {
 			i, j = j, i
 		}
 		return uint64(uint32(i))<<32 | uint64(uint32(j))
 	}
-	for _, sent := range c.Sentences {
-		for i := 0; i < len(sent); i++ {
-			lim := i + window
-			if lim >= len(sent) {
-				lim = len(sent) - 1
-			}
-			for j := i + 1; j <= lim; j++ {
-				weight := 1.0
-				if w == InverseDistance {
-					weight = 1 / float64(j-i)
+	shards := parallel.DefaultShards
+	ranges := parallel.Ranges(len(c.Sentences), shards)
+	accs := make([]map[uint64]float64, shards)
+	acc := make(map[uint64]float64)
+	parallel.Run(workers, shards, func(s int) {
+		local := make(map[uint64]float64)
+		for _, sent := range c.Sentences[ranges[s].Lo:ranges[s].Hi] {
+			for i := 0; i < len(sent); i++ {
+				lim := i + window
+				if lim >= len(sent) {
+					lim = len(sent) - 1
 				}
-				acc[key(sent[i], sent[j])] += weight
+				for j := i + 1; j <= lim; j++ {
+					weight := 1.0
+					if w == InverseDistance {
+						weight = 1 / float64(j-i)
+					}
+					local[key(sent[i], sent[j])] += weight
+				}
 			}
 		}
-	}
+		accs[s] = local
+	}, func(s int) {
+		for k, v := range accs[s] {
+			acc[k] += v
+		}
+	})
 	m := &Matrix{N: c.Vocab.Size(), Entries: make([]Entry, 0, len(acc))}
 	for k, v := range acc {
 		m.Entries = append(m.Entries, Entry{Row: int32(k >> 32), Col: int32(uint32(k)), Val: v})

@@ -178,6 +178,149 @@ func TestCountTotalWeightProperty(t *testing.T) {
 	}
 }
 
+// densePPMI computes PPMI on a tiny corpus from first principles: a dense
+// symmetric count matrix (unordered pairs mirrored off the diagonal, self
+// pairs counted once on it), joint and marginal probabilities, then
+// max(0, log(pij/(pi*pj))).
+func densePPMI(n int, sents [][]int32, window int) ([][]float64, [][]float64, float64) {
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+	}
+	for _, sent := range sents {
+		for i := 0; i < len(sent); i++ {
+			lim := i + window
+			if lim >= len(sent) {
+				lim = len(sent) - 1
+			}
+			for j := i + 1; j <= lim; j++ {
+				a, b := sent[i], sent[j]
+				dense[a][b]++
+				if a != b {
+					dense[b][a]++
+				}
+			}
+		}
+	}
+	var total float64
+	rowSums := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rowSums[i] += dense[i][j]
+			total += dense[i][j]
+		}
+	}
+	ppmi := make([][]float64, n)
+	for i := range ppmi {
+		ppmi[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if dense[i][j] == 0 {
+				continue
+			}
+			// Joint mass of the unordered pair {i,j}: both mirrored cells
+			// off the diagonal, the single cell on it.
+			pair := dense[i][j]
+			if i != j {
+				pair += dense[j][i]
+			}
+			v := math.Log((pair / total) / (rowSums[i] / total * rowSums[j] / total))
+			if v > 0 {
+				ppmi[i][j] = v
+			}
+		}
+	}
+	return ppmi, dense, total
+}
+
+// TestPPMIMassAccounting pins the sparse storage convention: the implied
+// joint distribution (off-diagonal entries doubled, diagonal entries
+// single) must sum to 1 over the same total mass a dense symmetric count
+// matrix produces, and the resulting PPMI values must match a dense
+// brute-force computation cell for cell.
+func TestPPMIMassAccounting(t *testing.T) {
+	// Repeats and self-co-occurrences included so diagonal entries exist.
+	sents := [][]int32{
+		{0, 1, 2, 0}, {3, 4, 3}, {1, 1, 2}, {0, 2, 2, 1}, {4, 0, 4},
+	}
+	const n, window = 5, 2
+	c := tinyCorpus(n, sents)
+	m := Count(c, window, Uniform)
+
+	hasDiagonal := false
+	for _, e := range m.Entries {
+		if e.Row == e.Col {
+			hasDiagonal = true
+		}
+	}
+	if !hasDiagonal {
+		t.Fatal("test corpus produced no diagonal entries; mass accounting untested")
+	}
+
+	wantPPMI, _, wantTotal := densePPMI(n, sents, window)
+
+	// Implied joint distribution: off-diagonal doubled, diagonal single.
+	var total, joint float64
+	for _, e := range m.Entries {
+		if e.Row != e.Col {
+			total += 2 * e.Val
+		} else {
+			total += e.Val
+		}
+	}
+	if math.Abs(total-wantTotal) > 1e-9 {
+		t.Fatalf("sparse total mass %v, dense total mass %v", total, wantTotal)
+	}
+	for _, e := range m.Entries {
+		cnt := e.Val
+		if e.Row != e.Col {
+			cnt *= 2
+		}
+		joint += cnt / total
+	}
+	if math.Abs(joint-1) > 1e-12 {
+		t.Fatalf("implied joint distribution sums to %v, want 1", joint)
+	}
+
+	p := PPMI(m)
+	for _, e := range p.Entries {
+		if math.Abs(e.Val-wantPPMI[e.Row][e.Col]) > 1e-12 {
+			t.Fatalf("PPMI(%d,%d) = %v, dense brute force %v", e.Row, e.Col, e.Val, wantPPMI[e.Row][e.Col])
+		}
+	}
+	// Every positive dense cell must be present in the sparse result.
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if wantPPMI[i][j] > 0 {
+				if _, ok := find(p, int32(i), int32(j)); !ok {
+					t.Fatalf("dense PPMI(%d,%d)=%v missing from sparse result", i, j, wantPPMI[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestCountWorkerInvariant checks the deterministic-parallelism contract:
+// sharded counting must produce bitwise identical matrices for any worker
+// count, including the sequential path.
+func TestCountWorkerInvariant(t *testing.T) {
+	c := corpus.Generate(corpus.TestConfig(), corpus.Wiki17)
+	for _, w := range []Weighting{Uniform, InverseDistance} {
+		ref := CountWorkers(c, 5, w, 1)
+		for _, workers := range []int{2, 4, 8} {
+			got := CountWorkers(c, 5, w, workers)
+			if got.NNZ() != ref.NNZ() {
+				t.Fatalf("weighting %d workers %d: nnz %d vs %d", w, workers, got.NNZ(), ref.NNZ())
+			}
+			for i := range ref.Entries {
+				if got.Entries[i] != ref.Entries[i] {
+					t.Fatalf("weighting %d workers %d: entry %d differs: %+v vs %+v",
+						w, workers, i, got.Entries[i], ref.Entries[i])
+				}
+			}
+		}
+	}
+}
+
 func TestPPMISymmetricInputOrder(t *testing.T) {
 	// PPMI must not depend on which member of an unordered pair appears
 	// first in the corpus.

@@ -1,16 +1,16 @@
 package embtrain
 
 import (
-	"math/rand"
-
 	"anchor/internal/corpus"
 	"anchor/internal/embedding"
 	"anchor/internal/floats"
+	"anchor/internal/parallel"
 )
 
 // CBOW trains continuous bag-of-words embeddings with negative sampling
 // (Mikolov et al. 2013): the averaged context window predicts the center
-// word. This mirrors the word2vec implementation the paper uses.
+// word. This mirrors the word2vec implementation the paper uses, with the
+// Hogwild-style threading replaced by the deterministic sharded engine.
 type CBOW struct {
 	// Window is the maximum context half-width; per position the effective
 	// width is sampled uniformly from [1, Window] as in word2vec.
@@ -23,21 +23,38 @@ type CBOW struct {
 	LR float64
 	// NegPower is the unigram distribution exponent (0.75 in word2vec).
 	NegPower float64
+	// Workers is the goroutine budget (<= 0 selects all CPUs). Embeddings
+	// are bitwise identical for every value.
+	Workers int
+	// Shards is the fixed data-parallel shard count (<= 0 selects
+	// parallel.DefaultShards). Unlike Workers, changing Shards changes the
+	// (still deterministic) result.
+	Shards int
+	// Rounds is the number of synchronization rounds per epoch (<= 0
+	// selects the package default). Like Shards it shapes the result
+	// deterministically; it never depends on worker count.
+	Rounds int
 }
 
 // NewCBOW returns a CBOW trainer with repro-scale defaults (the paper's
 // hyperparameters, with window and epochs scaled to the synthetic corpus).
 func NewCBOW() *CBOW {
-	return &CBOW{Window: 5, Negatives: 5, Epochs: 12, LR: 0.1, NegPower: 0.75}
+	return &CBOW{Window: 5, Negatives: 5, Epochs: 12, LR: 0.1, NegPower: 0.75, Rounds: 16}
 }
 
 // Name implements Trainer.
 func (t *CBOW) Name() string { return "cbow" }
 
+// cbowShard is one shard's copy-on-write view of the CBOW state.
+type cbowShard struct {
+	in, out *parallel.Replica
+	h, grad []float64 // per-position scratch
+}
+
 // Train implements Trainer.
 func (t *CBOW) Train(c *corpus.Corpus, dim int, seed int64) *embedding.Embedding {
 	n := c.Vocab.Size()
-	rng := rand.New(rand.NewSource(seed))
+	rng := newTrainRNG(seed)
 	e := embedding.New(n, dim)
 	e.Words = c.Vocab.Words
 	e.Meta = embedding.Meta{
@@ -48,70 +65,98 @@ func (t *CBOW) Train(c *corpus.Corpus, dim int, seed int64) *embedding.Embedding
 
 	table := newUnigramTable(c.Counts, t.NegPower)
 	total := float64(t.Epochs) * float64(c.Tokens)
-	processed := 0.0
-	h := make([]float64, dim)    // averaged context vector
-	grad := make([]float64, dim) // gradient accumulated for the context
+
+	shards := parallel.Shards(t.Shards)
+	rounds := syncRounds(t.Rounds)
+	local := make([]*cbowShard, shards)
+	for s := range local {
+		local[s] = &cbowShard{
+			in:   parallel.NewReplica(e.Vectors.Data, dim),
+			out:  parallel.NewReplica(out, dim),
+			h:    make([]float64, dim),
+			grad: make([]float64, dim),
+		}
+	}
 
 	for epoch := 0; epoch < t.Epochs; epoch++ {
 		order := shuffledOrder(len(c.Sentences), rng)
-		for _, si := range order {
-			sent := c.Sentences[si]
-			for pos, center := range sent {
-				lr := t.LR * (1 - processed/total)
-				if lr < t.LR*1e-4 {
-					lr = t.LR * 1e-4
-				}
-				processed++
+		var epochTokens float64
+		for round, rr := range parallel.Ranges(len(order), rounds) {
+			sub := order[rr.Lo:rr.Hi]
+			ranges := parallel.Ranges(len(sub), shards)
+			offsets, roundTokens := tokenOffsets(c, sub, ranges)
+			parallel.Run(t.Workers, shards, func(s int) {
+				st := local[s]
+				st.in.Begin()
+				st.out.Begin()
+				srng := parallel.ShardRNG(seed, s, epoch*rounds+round)
+				processed := float64(epoch)*float64(c.Tokens) + epochTokens + offsets[s]
+				for _, si := range sub[ranges[s].Lo:ranges[s].Hi] {
+					sent := c.Sentences[si]
+					for pos, center := range sent {
+						lr := t.LR * (1 - processed/total)
+						if lr < t.LR*1e-4 {
+							lr = t.LR * 1e-4
+						}
+						processed++
 
-				b := 1 + rng.Intn(t.Window) // effective half-width
-				floats.Fill(h, 0)
-				count := 0
-				for off := -b; off <= b; off++ {
-					if off == 0 {
-						continue
-					}
-					p := pos + off
-					if p < 0 || p >= len(sent) {
-						continue
-					}
-					floats.Add(h, e.Vectors.Row(int(sent[p])))
-					count++
-				}
-				if count == 0 {
-					continue
-				}
-				floats.Scale(1/float64(count), h)
-				floats.Fill(grad, 0)
-
-				for k := 0; k <= t.Negatives; k++ {
-					var target int32
-					var label float64
-					if k == 0 {
-						target, label = center, 1
-					} else {
-						target = table.sample(rng)
-						if target == center {
+						b := 1 + srng.Intn(t.Window) // effective half-width
+						floats.Fill(st.h, 0)
+						count := 0
+						for off := -b; off <= b; off++ {
+							if off == 0 {
+								continue
+							}
+							p := pos + off
+							if p < 0 || p >= len(sent) {
+								continue
+							}
+							floats.Add(st.h, st.in.Row(int(sent[p])))
+							count++
+						}
+						if count == 0 {
 							continue
 						}
-						label = 0
+						floats.Scale(1/float64(count), st.h)
+						floats.Fill(st.grad, 0)
+
+						for k := 0; k <= t.Negatives; k++ {
+							var target int32
+							var label float64
+							if k == 0 {
+								target, label = center, 1
+							} else {
+								target = table.sample(srng)
+								if target == center {
+									continue
+								}
+								label = 0
+							}
+							row := st.out.Row(int(target))
+							g := (label - sigmoid(floats.Dot(st.h, row))) * lr
+							floats.Axpy(g, row, st.grad)
+							floats.Axpy(g, st.h, row)
+						}
+						gScale := 1 / float64(count)
+						for off := -b; off <= b; off++ {
+							if off == 0 {
+								continue
+							}
+							p := pos + off
+							if p < 0 || p >= len(sent) {
+								continue
+							}
+							floats.Axpy(gScale, st.grad, st.in.Row(int(sent[p])))
+						}
 					}
-					row := out[int(target)*dim : (int(target)+1)*dim]
-					g := (label - sigmoid(floats.Dot(h, row))) * lr
-					floats.Axpy(g, row, grad)
-					floats.Axpy(g, h, row)
 				}
-				gScale := 1 / float64(count)
-				for off := -b; off <= b; off++ {
-					if off == 0 {
-						continue
-					}
-					p := pos + off
-					if p < 0 || p >= len(sent) {
-						continue
-					}
-					floats.Axpy(gScale, grad, e.Vectors.Row(int(sent[p])))
-				}
-			}
+				st.in.Seal()
+				st.out.Seal()
+			}, func(s int) {
+				local[s].in.Reduce()
+				local[s].out.Reduce()
+			})
+			epochTokens += roundTokens
 		}
 	}
 	return e

@@ -3,10 +3,17 @@
 // (word2vec), GloVe, online matrix completion on PPMI (MC), and the
 // fastText-style subword skipgram used in Appendix E.1.
 //
-// Every trainer is deterministic given (corpus, dim, seed): training runs
-// single-threaded with a seeded RNG, so embedding instability in the
-// experiments comes only from the modelled sources (corpus drift and the
-// explicit seed), matching the paper's controlled setup.
+// Every trainer is deterministic given (corpus, dim, seed) and trains on
+// all CPUs by default through the sharded engine in internal/parallel: each
+// epoch the work items (sentences or matrix entries) are split into a
+// fixed, seed-derived set of shards, each shard runs sequential SGD on a
+// private replica of the parameters with its own seeded RNG, and the shard
+// deltas are folded back into the shared parameters in ascending shard
+// order. Because the shard count is fixed and the reduction is ordered, the
+// result is bitwise identical for every Workers setting — embedding
+// instability in the experiments comes only from the modelled sources
+// (corpus drift and the explicit seed), matching the paper's controlled
+// setup, while retraining uses all cores.
 package embtrain
 
 import (
@@ -15,6 +22,7 @@ import (
 
 	"anchor/internal/corpus"
 	"anchor/internal/embedding"
+	"anchor/internal/parallel"
 )
 
 // Trainer is the common interface implemented by all embedding algorithms.
@@ -27,17 +35,34 @@ type Trainer interface {
 
 // ByName returns the trainer with default configuration for the given
 // algorithm name ("cbow", "glove", "mc", or "fasttext"); ok is false for
-// unknown names.
+// unknown names. The default trainers use all CPUs; the result does not
+// depend on how many (see ByNameWorkers).
 func ByName(name string) (Trainer, bool) {
+	return ByNameWorkers(name, 0)
+}
+
+// ByNameWorkers returns the named trainer with its Workers knob set
+// (workers <= 0 selects all CPUs). Worker count only controls how many of
+// the fixed training shards run concurrently; embeddings are bitwise
+// identical for any value.
+func ByNameWorkers(name string, workers int) (Trainer, bool) {
 	switch name {
 	case "cbow":
-		return NewCBOW(), true
+		tr := NewCBOW()
+		tr.Workers = workers
+		return tr, true
 	case "glove":
-		return NewGloVe(), true
+		tr := NewGloVe()
+		tr.Workers = workers
+		return tr, true
 	case "mc":
-		return NewMC(), true
+		tr := NewMC()
+		tr.Workers = workers
+		return tr, true
 	case "fasttext":
-		return NewFastText(), true
+		tr := NewFastText()
+		tr.Workers = workers
+		return tr, true
 	}
 	return nil, false
 }
@@ -50,6 +75,13 @@ type unigramTable struct {
 
 const unigramTableSize = 1 << 17
 
+// newUnigramTable builds the sampling table from word counts. Each word
+// with a nonzero count occupies the table slots between its rounded
+// cumulative probability boundaries, but never fewer than one slot: under
+// extreme skew the classic word2vec cumulative fill drops tail words whose
+// mass rounds to zero slots, which would make them unreachable as negative
+// samples. The table may exceed unigramTableSize by at most one slot per
+// word; sampling normalizes by the true length.
 func newUnigramTable(counts []int64, power float64) *unigramTable {
 	var z float64
 	for _, c := range counts {
@@ -62,28 +94,18 @@ func newUnigramTable(counts []int64, power float64) *unigramTable {
 		t.table = append(t.table, 0)
 		return t
 	}
-	// Standard word2vec table fill: word w occupies a contiguous stretch
-	// proportional to count^power / z.
-	next := func(w int) int {
-		w++
-		for w < len(counts) && counts[w] == 0 {
-			w++
+	var cum float64
+	for w, cnt := range counts {
+		if cnt <= 0 {
+			continue
 		}
-		return w
-	}
-	w := next(-1)
-	if w >= len(counts) {
-		t.table = append(t.table, 0)
-		return t
-	}
-	cum := math.Pow(float64(counts[w]), power) / z
-	for i := 0; i < unigramTableSize; i++ {
-		t.table = append(t.table, int32(w))
-		if float64(i+1)/unigramTableSize > cum {
-			if nw := next(w); nw < len(counts) {
-				w = nw
-				cum += math.Pow(float64(counts[w]), power) / z
-			}
+		cum += math.Pow(float64(cnt), power) / z
+		end := int(cum*unigramTableSize + 0.5)
+		if end <= len(t.table) {
+			end = len(t.table) + 1
+		}
+		for len(t.table) < end {
+			t.table = append(t.table, int32(w))
 		}
 	}
 	return t
@@ -112,6 +134,11 @@ func initMatrix(data []float64, dim int, rng *rand.Rand) {
 	}
 }
 
+// newTrainRNG returns the master RNG driving parameter initialization and
+// the epoch shuffles; per-shard randomness is derived independently via
+// parallel.ShardRNG so it never depends on scheduling.
+func newTrainRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
 // shuffledOrder returns a seeded permutation of [0, n).
 func shuffledOrder(n int, rng *rand.Rand) []int32 {
 	order := make([]int32, n)
@@ -120,4 +147,37 @@ func shuffledOrder(n int, rng *rand.Rand) []int32 {
 	}
 	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 	return order
+}
+
+// defaultSyncRounds is the number of synchronization rounds per epoch used
+// when a trainer's Rounds knob is zero. More rounds track sequential SGD
+// more closely (each shard's delta stays small relative to the loss
+// landscape before it is merged) at the cost of more barriers; eight keeps
+// the quality of the paper's single-threaded trainers on the synthetic
+// corpora while shards stay coarse enough to parallelize.
+const defaultSyncRounds = 8
+
+// syncRounds resolves a Rounds knob: values <= 0 select defaultSyncRounds.
+func syncRounds(n int) int {
+	if n <= 0 {
+		return defaultSyncRounds
+	}
+	return n
+}
+
+// tokenOffsets returns, for each shard's range over one round's slice of
+// the epoch's sentence order, the number of tokens that precede it inside
+// the slice, plus the slice's total token count — so every shard can
+// evaluate the global linearly-decaying learning-rate schedule without
+// observing the other shards' progress.
+func tokenOffsets(c *corpus.Corpus, order []int32, ranges []parallel.Range) ([]float64, float64) {
+	offsets := make([]float64, len(ranges))
+	var cum float64
+	for s, r := range ranges {
+		offsets[s] = cum
+		for _, si := range order[r.Lo:r.Hi] {
+			cum += float64(len(c.Sentences[si]))
+		}
+	}
+	return offsets, cum
 }

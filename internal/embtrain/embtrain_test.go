@@ -1,6 +1,7 @@
 package embtrain
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -78,6 +79,51 @@ func TestGloVeDeterministic(t *testing.T)    { checkDeterministic(t, NewGloVe())
 func TestMCDeterministic(t *testing.T)       { checkDeterministic(t, NewMC()) }
 func TestFastTextDeterministic(t *testing.T) { checkDeterministic(t, NewFastText()) }
 
+// checkWorkerInvariance is the acceptance property of the deterministic
+// parallel engine: embeddings must be bitwise identical no matter how many
+// workers execute the fixed shards.
+func checkWorkerInvariance(t *testing.T, mk func(workers int) Trainer) {
+	t.Helper()
+	c := testCorpus(t, corpus.Wiki17)
+	a := mk(1).Train(c, 8, 7)
+	b := mk(4).Train(c, 8, 7)
+	if a.Meta.Algorithm != b.Meta.Algorithm {
+		t.Fatal("trainer factory returned mismatched algorithms")
+	}
+	for i := range a.Vectors.Data {
+		if a.Vectors.Data[i] != b.Vectors.Data[i] {
+			t.Fatalf("%s: Workers=1 and Workers=4 diverge at %d: %v vs %v",
+				a.Meta.Algorithm, i, a.Vectors.Data[i], b.Vectors.Data[i])
+		}
+	}
+}
+
+func TestCBOWWorkerInvariant(t *testing.T) {
+	checkWorkerInvariance(t, func(w int) Trainer { tr := NewCBOW(); tr.Workers = w; return tr })
+}
+
+func TestGloVeWorkerInvariant(t *testing.T) {
+	checkWorkerInvariance(t, func(w int) Trainer { tr := NewGloVe(); tr.Workers = w; return tr })
+}
+
+func TestMCWorkerInvariant(t *testing.T) {
+	checkWorkerInvariance(t, func(w int) Trainer { tr := NewMC(); tr.Workers = w; return tr })
+}
+
+func TestFastTextWorkerInvariant(t *testing.T) {
+	checkWorkerInvariance(t, func(w int) Trainer { tr := NewFastText(); tr.Workers = w; return tr })
+}
+
+func TestByNameWorkersSetsKnob(t *testing.T) {
+	tr, ok := ByNameWorkers("cbow", 3)
+	if !ok {
+		t.Fatal("cbow not found")
+	}
+	if got := tr.(*CBOW).Workers; got != 3 {
+		t.Fatalf("Workers = %d, want 3", got)
+	}
+}
+
 func TestSeedChangesEmbedding(t *testing.T) {
 	c := testCorpus(t, corpus.Wiki17)
 	tr := NewCBOW()
@@ -129,6 +175,56 @@ func TestUnigramTableFavorsFrequent(t *testing.T) {
 	}
 	if draws[2] > 0 {
 		t.Fatalf("zero-count word sampled %d times", draws[2])
+	}
+}
+
+// TestUnigramTableCoversTailWords is the tail-handling regression test:
+// every word with a nonzero count must be reachable as a negative sample.
+// Under extreme skew the classic word2vec cumulative fill advances at most
+// one word per table slot and runs out of slots before the tail, dropping
+// those words from the table entirely.
+func TestUnigramTableCoversTailWords(t *testing.T) {
+	counts := make([]int64, 50)
+	counts[0] = 1 << 40
+	for i := 1; i < len(counts); i++ {
+		counts[i] = 1
+	}
+	tab := newUnigramTable(counts, 0.75)
+	present := make(map[int32]bool)
+	for _, w := range tab.table {
+		present[w] = true
+	}
+	for w, c := range counts {
+		if c > 0 && !present[int32(w)] {
+			t.Errorf("word %d (count %d) unreachable in negative-sampling table", w, c)
+		}
+	}
+	if len(tab.table) > unigramTableSize+len(counts) {
+		t.Fatalf("table overgrew: %d slots for %d words", len(tab.table), len(counts))
+	}
+}
+
+// TestUnigramTableProportions checks the fill still tracks count^power for
+// non-degenerate distributions: slot shares must be close to the exact
+// normalized weights.
+func TestUnigramTableProportions(t *testing.T) {
+	counts := []int64{1000, 300, 100, 30, 10}
+	power := 0.75
+	tab := newUnigramTable(counts, power)
+	var z float64
+	for _, c := range counts {
+		z += math.Pow(float64(c), power)
+	}
+	slots := make([]int, len(counts))
+	for _, w := range tab.table {
+		slots[w]++
+	}
+	for w, c := range counts {
+		want := math.Pow(float64(c), power) / z
+		got := float64(slots[w]) / float64(len(tab.table))
+		if math.Abs(got-want) > 1e-3 {
+			t.Fatalf("word %d slot share %.5f, want %.5f", w, got, want)
+		}
 	}
 }
 

@@ -1,11 +1,10 @@
 package embtrain
 
 import (
-	"math/rand"
-
 	"anchor/internal/corpus"
 	"anchor/internal/embedding"
 	"anchor/internal/floats"
+	"anchor/internal/parallel"
 )
 
 // FastText trains skipgram embeddings with subword information
@@ -14,6 +13,9 @@ import (
 // vector and the vectors of its character n-grams, hashed into a fixed
 // bucket table. The synthetic vocabulary has real morphology (stem+suffix
 // families), so subwords carry signal exactly as in natural language.
+// Sentences are sharded across cores by the deterministic parallel engine;
+// the word, n-gram, and output matrices are replicated per shard and
+// merged by ordered delta reduction.
 type FastText struct {
 	// Window is the maximum skipgram context half-width.
 	Window int
@@ -29,13 +31,24 @@ type FastText struct {
 	Buckets int
 	// NegPower is the unigram distribution exponent.
 	NegPower float64
+	// Workers is the goroutine budget (<= 0 selects all CPUs). Embeddings
+	// are bitwise identical for every value.
+	Workers int
+	// Shards is the fixed data-parallel shard count (<= 0 selects
+	// parallel.DefaultShards). Unlike Workers, changing Shards changes the
+	// (still deterministic) result.
+	Shards int
+	// Rounds is the number of synchronization rounds per epoch (<= 0
+	// selects the package default). Like Shards it shapes the result
+	// deterministically; it never depends on worker count.
+	Rounds int
 }
 
 // NewFastText returns a fastText trainer with repro-scale defaults.
 func NewFastText() *FastText {
 	return &FastText{
 		Window: 5, Negatives: 5, Epochs: 10, LR: 0.1,
-		MinN: 3, MaxN: 5, Buckets: 4096, NegPower: 0.75,
+		MinN: 3, MaxN: 5, Buckets: 4096, NegPower: 0.75, Rounds: 32,
 	}
 }
 
@@ -65,10 +78,16 @@ func (t *FastText) Subwords(word string) []int32 {
 	return out
 }
 
+// ftShard is one shard's copy-on-write view of the fastText state.
+type ftShard struct {
+	word, gram, out *parallel.Replica
+	h, grad         []float64
+}
+
 // Train implements Trainer.
 func (t *FastText) Train(c *corpus.Corpus, dim int, seed int64) *embedding.Embedding {
 	n := c.Vocab.Size()
-	rng := rand.New(rand.NewSource(seed))
+	rng := newTrainRNG(seed)
 
 	// Precompute each word's subword bucket list.
 	sub := make([][]int32, n)
@@ -84,66 +103,98 @@ func (t *FastText) Train(c *corpus.Corpus, dim int, seed int64) *embedding.Embed
 
 	table := newUnigramTable(c.Counts, t.NegPower)
 	total := float64(t.Epochs) * float64(c.Tokens)
-	processed := 0.0
-	h := make([]float64, dim)
-	grad := make([]float64, dim)
+
+	shards := parallel.Shards(t.Shards)
+	rounds := syncRounds(t.Rounds)
+	local := make([]*ftShard, shards)
+	for s := range local {
+		local[s] = &ftShard{
+			word: parallel.NewReplica(wordVec, dim),
+			gram: parallel.NewReplica(gramVec, dim),
+			out:  parallel.NewReplica(out, dim),
+			h:    make([]float64, dim),
+			grad: make([]float64, dim),
+		}
+	}
 
 	for epoch := 0; epoch < t.Epochs; epoch++ {
 		order := shuffledOrder(len(c.Sentences), rng)
-		for _, si := range order {
-			sent := c.Sentences[si]
-			for pos, center := range sent {
-				lr := t.LR * (1 - processed/total)
-				if lr < t.LR*1e-4 {
-					lr = t.LR * 1e-4
-				}
-				processed++
+		var epochTokens float64
+		for round, rr := range parallel.Ranges(len(order), rounds) {
+			sub2 := order[rr.Lo:rr.Hi]
+			ranges := parallel.Ranges(len(sub2), shards)
+			offsets, roundTokens := tokenOffsets(c, sub2, ranges)
+			parallel.Run(t.Workers, shards, func(s int) {
+				st := local[s]
+				st.word.Begin()
+				st.gram.Begin()
+				st.out.Begin()
+				srng := parallel.ShardRNG(seed, s, epoch*rounds+round)
+				processed := float64(epoch)*float64(c.Tokens) + epochTokens + offsets[s]
+				for _, si := range sub2[ranges[s].Lo:ranges[s].Hi] {
+					sent := c.Sentences[si]
+					for pos, center := range sent {
+						lr := t.LR * (1 - processed/total)
+						if lr < t.LR*1e-4 {
+							lr = t.LR * 1e-4
+						}
+						processed++
 
-				// Input representation of the center word: average of word
-				// vector and subword vectors.
-				grams := sub[center]
-				norm := 1 / float64(1+len(grams))
-				copy(h, wordVec[int(center)*dim:(int(center)+1)*dim])
-				for _, g := range grams {
-					floats.Add(h, gramVec[int(g)*dim:(int(g)+1)*dim])
-				}
-				floats.Scale(norm, h)
+						// Input representation of the center word: average of word
+						// vector and subword vectors.
+						grams := sub[center]
+						norm := 1 / float64(1+len(grams))
+						copy(st.h, st.word.Row(int(center)))
+						for _, g := range grams {
+							floats.Add(st.h, st.gram.Row(int(g)))
+						}
+						floats.Scale(norm, st.h)
 
-				b := 1 + rng.Intn(t.Window)
-				for off := -b; off <= b; off++ {
-					if off == 0 {
-						continue
-					}
-					p := pos + off
-					if p < 0 || p >= len(sent) {
-						continue
-					}
-					ctx := sent[p]
-					floats.Fill(grad, 0)
-					for k := 0; k <= t.Negatives; k++ {
-						var target int32
-						var label float64
-						if k == 0 {
-							target, label = ctx, 1
-						} else {
-							target = table.sample(rng)
-							if target == ctx {
+						b := 1 + srng.Intn(t.Window)
+						for off := -b; off <= b; off++ {
+							if off == 0 {
 								continue
 							}
-							label = 0
+							p := pos + off
+							if p < 0 || p >= len(sent) {
+								continue
+							}
+							ctx := sent[p]
+							floats.Fill(st.grad, 0)
+							for k := 0; k <= t.Negatives; k++ {
+								var target int32
+								var label float64
+								if k == 0 {
+									target, label = ctx, 1
+								} else {
+									target = table.sample(srng)
+									if target == ctx {
+										continue
+									}
+									label = 0
+								}
+								row := st.out.Row(int(target))
+								g := (label - sigmoid(floats.Dot(st.h, row))) * lr
+								floats.Axpy(g, row, st.grad)
+								floats.Axpy(g, st.h, row)
+							}
+							// Distribute the input gradient over word + subword vectors.
+							floats.Axpy(norm, st.grad, st.word.Row(int(center)))
+							for _, g := range grams {
+								floats.Axpy(norm, st.grad, st.gram.Row(int(g)))
+							}
 						}
-						row := out[int(target)*dim : (int(target)+1)*dim]
-						g := (label - sigmoid(floats.Dot(h, row))) * lr
-						floats.Axpy(g, row, grad)
-						floats.Axpy(g, h, row)
-					}
-					// Distribute the input gradient over word + subword vectors.
-					floats.Axpy(norm, grad, wordVec[int(center)*dim:(int(center)+1)*dim])
-					for _, g := range grams {
-						floats.Axpy(norm, grad, gramVec[int(g)*dim:(int(g)+1)*dim])
 					}
 				}
-			}
+				st.word.Seal()
+				st.gram.Seal()
+				st.out.Seal()
+			}, func(s int) {
+				local[s].word.Reduce()
+				local[s].gram.Reduce()
+				local[s].out.Reduce()
+			})
+			epochTokens += roundTokens
 		}
 	}
 

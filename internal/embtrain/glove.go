@@ -2,18 +2,20 @@ package embtrain
 
 import (
 	"math"
-	"math/rand"
 
 	"anchor/internal/cooc"
 	"anchor/internal/corpus"
 	"anchor/internal/embedding"
 	"anchor/internal/floats"
+	"anchor/internal/parallel"
 )
 
 // GloVe trains embeddings by weighted least-squares factorization of the
 // log co-occurrence matrix (Pennington et al. 2014) with AdaGrad, modeling
 // word and context vectors plus bias terms separately; the returned
-// embedding is the standard sum of word and context vectors.
+// embedding is the standard sum of word and context vectors. Nonzero
+// entries are sharded across cores by the deterministic parallel engine;
+// the AdaGrad accumulators are replicated and merged like the parameters.
 type GloVe struct {
 	// Window is the co-occurrence half-window; counts are weighted 1/distance.
 	Window int
@@ -24,6 +26,17 @@ type GloVe struct {
 	// XMax and Alpha parameterize the weighting f(x) = min(1, (x/XMax)^Alpha).
 	XMax  float64
 	Alpha float64
+	// Workers is the goroutine budget (<= 0 selects all CPUs). Embeddings
+	// are bitwise identical for every value.
+	Workers int
+	// Shards is the fixed data-parallel shard count (<= 0 selects
+	// parallel.DefaultShards). Unlike Workers, changing Shards changes the
+	// (still deterministic) result.
+	Shards int
+	// Rounds is the number of synchronization rounds per epoch (<= 0
+	// selects the package default). Like Shards it shapes the result
+	// deterministically; it never depends on worker count.
+	Rounds int
 }
 
 // NewGloVe returns a GloVe trainer with repro-scale defaults. The paper
@@ -36,11 +49,71 @@ func NewGloVe() *GloVe {
 // Name implements Trainer.
 func (t *GloVe) Name() string { return "glove" }
 
+// gloveShard is one shard's copy-on-write view of the GloVe parameters and
+// their AdaGrad accumulators. all collects every replica so the round
+// lifecycle (begin/seal/reduce) cannot silently skip one of them.
+type gloveShard struct {
+	w, wc   *parallel.Replica // word / context vectors
+	b, bc   *parallel.Replica // word / context biases
+	gw, gwc *parallel.Replica // AdaGrad accumulators for the vectors
+	gb, gbc *parallel.Replica // AdaGrad accumulators for the biases
+	all     []*parallel.Replica
+}
+
+func (st *gloveShard) begin() {
+	for _, r := range st.all {
+		r.Begin()
+	}
+}
+
+func (st *gloveShard) seal() {
+	for _, r := range st.all {
+		r.Seal()
+	}
+}
+
+func (st *gloveShard) reduce() {
+	for _, r := range st.all {
+		r.Reduce()
+	}
+}
+
+// update applies one AdaGrad step for the directed pair (i -> j) with
+// co-occurrence weight x.
+func (t *GloVe) update(st *gloveShard, dim int, i, j int32, x float64) {
+	wi := st.w.Row(int(i))
+	cj := st.wc.Row(int(j))
+	bi := st.b.Row(int(i))
+	bj := st.bc.Row(int(j))
+	gwi := st.gw.Row(int(i))
+	gcj := st.gwc.Row(int(j))
+	gbi := st.gb.Row(int(i))
+	gbj := st.gbc.Row(int(j))
+	diff := floats.Dot(wi, cj) + bi[0] + bj[0] - math.Log(x)
+	f := 1.0
+	if x < t.XMax {
+		f = math.Pow(x/t.XMax, t.Alpha)
+	}
+	g := f * diff
+	for k := 0; k < dim; k++ {
+		gwk := g * cj[k]
+		gck := g * wi[k]
+		wi[k] -= t.LR * gwk / math.Sqrt(gwi[k])
+		cj[k] -= t.LR * gck / math.Sqrt(gcj[k])
+		gwi[k] += gwk * gwk
+		gcj[k] += gck * gck
+	}
+	bi[0] -= t.LR * g / math.Sqrt(gbi[0])
+	bj[0] -= t.LR * g / math.Sqrt(gbj[0])
+	gbi[0] += g * g
+	gbj[0] += g * g
+}
+
 // Train implements Trainer.
 func (t *GloVe) Train(c *corpus.Corpus, dim int, seed int64) *embedding.Embedding {
-	counts := cooc.Count(c, t.Window, cooc.InverseDistance)
+	counts := cooc.CountWorkers(c, t.Window, cooc.InverseDistance, t.Workers)
 	n := c.Vocab.Size()
-	rng := rand.New(rand.NewSource(seed))
+	rng := newTrainRNG(seed)
 
 	w := make([]float64, n*dim)  // word vectors
 	wc := make([]float64, n*dim) // context vectors
@@ -61,41 +134,41 @@ func (t *GloVe) Train(c *corpus.Corpus, dim int, seed int64) *embedding.Embeddin
 		gb[i], gbc[i] = 1, 1
 	}
 
-	update := func(i, j int32, x float64) {
-		wi := w[int(i)*dim : (int(i)+1)*dim]
-		cj := wc[int(j)*dim : (int(j)+1)*dim]
-		diff := floats.Dot(wi, cj) + b[i] + bc[j] - math.Log(x)
-		f := 1.0
-		if x < t.XMax {
-			f = math.Pow(x/t.XMax, t.Alpha)
+	shards := parallel.Shards(t.Shards)
+	rounds := syncRounds(t.Rounds)
+	local := make([]*gloveShard, shards)
+	for s := range local {
+		st := &gloveShard{
+			w: parallel.NewReplica(w, dim), wc: parallel.NewReplica(wc, dim),
+			b: parallel.NewReplica(b, 1), bc: parallel.NewReplica(bc, 1),
+			gw: parallel.NewReplica(gw, dim), gwc: parallel.NewReplica(gwc, dim),
+			gb: parallel.NewReplica(gb, 1), gbc: parallel.NewReplica(gbc, 1),
 		}
-		g := f * diff
-		for k := 0; k < dim; k++ {
-			gwk := g * cj[k]
-			gck := g * wi[k]
-			idxW := int(i)*dim + k
-			idxC := int(j)*dim + k
-			wi[k] -= t.LR * gwk / math.Sqrt(gw[idxW])
-			cj[k] -= t.LR * gck / math.Sqrt(gwc[idxC])
-			gw[idxW] += gwk * gwk
-			gwc[idxC] += gck * gck
-		}
-		b[i] -= t.LR * g / math.Sqrt(gb[i])
-		bc[j] -= t.LR * g / math.Sqrt(gbc[j])
-		gb[i] += g * g
-		gbc[j] += g * g
+		st.all = []*parallel.Replica{st.w, st.wc, st.b, st.bc, st.gw, st.gwc, st.gb, st.gbc}
+		local[s] = st
 	}
 
 	for epoch := 0; epoch < t.Epochs; epoch++ {
 		order := shuffledOrder(counts.NNZ(), rng)
-		for _, ei := range order {
-			e := counts.Entries[ei]
-			// The sparse matrix stores each unordered pair once; train both
-			// directions so word and context roles are symmetric.
-			update(e.Row, e.Col, e.Val)
-			if e.Row != e.Col {
-				update(e.Col, e.Row, e.Val)
-			}
+		for _, rr := range parallel.Ranges(len(order), rounds) {
+			sub := order[rr.Lo:rr.Hi]
+			ranges := parallel.Ranges(len(sub), shards)
+			parallel.Run(t.Workers, shards, func(s int) {
+				st := local[s]
+				st.begin()
+				for _, ei := range sub[ranges[s].Lo:ranges[s].Hi] {
+					e := counts.Entries[ei]
+					// The sparse matrix stores each unordered pair once; train both
+					// directions so word and context roles are symmetric.
+					t.update(st, dim, e.Row, e.Col, e.Val)
+					if e.Row != e.Col {
+						t.update(st, dim, e.Col, e.Row, e.Val)
+					}
+				}
+				st.seal()
+			}, func(s int) {
+				local[s].reduce()
+			})
 		}
 	}
 

@@ -2,12 +2,12 @@ package embtrain
 
 import (
 	"math"
-	"math/rand"
 
 	"anchor/internal/cooc"
 	"anchor/internal/corpus"
 	"anchor/internal/embedding"
 	"anchor/internal/floats"
+	"anchor/internal/parallel"
 )
 
 // clipResidual bounds the per-entry error used in the SGD step.
@@ -17,6 +17,10 @@ const clipResidual = 5.0
 // (following Jin et al. 2016, as used in the paper): stochastic gradient
 // descent on the squared error of sampled observed entries,
 // min_X Σ_{(i,j)∈Θ} (X_i·X_j − A_ij)², with a single symmetric factor.
+// Observed entries are sharded across cores by the deterministic parallel
+// engine with per-row averaged delta merges; after every merge the rows
+// are re-projected so the combined deltas cannot leave the norm ball that
+// keeps plain SGD stable.
 type MC struct {
 	// Window is the co-occurrence half-window used to build the PPMI matrix.
 	Window int
@@ -29,6 +33,17 @@ type MC struct {
 	DecayEpochs int
 	// DecayRate is the per-epoch multiplicative decay after DecayEpochs.
 	DecayRate float64
+	// Workers is the goroutine budget (<= 0 selects all CPUs). Embeddings
+	// are bitwise identical for every value.
+	Workers int
+	// Shards is the fixed data-parallel shard count (<= 0 selects
+	// parallel.DefaultShards). Unlike Workers, changing Shards changes the
+	// (still deterministic) result.
+	Shards int
+	// Rounds is the number of synchronization rounds per epoch (<= 0
+	// selects the package default). Like Shards it shapes the result
+	// deterministically; it never depends on worker count.
+	Rounds int
 }
 
 // NewMC returns an MC trainer with the paper's hyperparameters scaled to
@@ -42,9 +57,9 @@ func (t *MC) Name() string { return "mc" }
 
 // Train implements Trainer.
 func (t *MC) Train(c *corpus.Corpus, dim int, seed int64) *embedding.Embedding {
-	ppmi := cooc.PPMI(cooc.Count(c, t.Window, cooc.Uniform))
+	ppmi := cooc.PPMI(cooc.CountWorkers(c, t.Window, cooc.Uniform, t.Workers))
 	n := c.Vocab.Size()
-	rng := rand.New(rand.NewSource(seed))
+	rng := newTrainRNG(seed)
 
 	e := embedding.New(n, dim)
 	e.Words = c.Vocab.Words
@@ -73,38 +88,62 @@ func (t *MC) Train(c *corpus.Corpus, dim int, seed int64) *embedding.Embedding {
 	}
 	maxNorm := 1.5 * math.Sqrt(maxVal+1)
 
+	shards := parallel.Shards(t.Shards)
+	rounds := syncRounds(t.Rounds)
+	local := make([]*parallel.Replica, shards)
+	for s := range local {
+		local[s] = parallel.NewReplica(e.Vectors.Data, dim)
+	}
+
 	lr := t.LR
 	for epoch := 0; epoch < t.Epochs; epoch++ {
 		if epoch >= t.DecayEpochs {
 			lr *= t.DecayRate
 		}
 		order := shuffledOrder(ppmi.NNZ(), rng)
-		for _, ei := range order {
-			entry := ppmi.Entries[ei]
-			xi := e.Vectors.Row(int(entry.Row))
-			xj := e.Vectors.Row(int(entry.Col))
-			diff := floats.Dot(xi, xj) - entry.Val
-			// Residual clipping keeps a rare large error from triggering
-			// the divergence of the unregularized factorization.
-			if diff > clipResidual {
-				diff = clipResidual
-			} else if diff < -clipResidual {
-				diff = -clipResidual
+		for _, rr := range parallel.Ranges(len(order), rounds) {
+			sub := order[rr.Lo:rr.Hi]
+			ranges := parallel.Ranges(len(sub), shards)
+			parallel.Run(t.Workers, shards, func(s int) {
+				vec := local[s]
+				vec.Begin()
+				for _, ei := range sub[ranges[s].Lo:ranges[s].Hi] {
+					entry := ppmi.Entries[ei]
+					xi := vec.Row(int(entry.Row))
+					xj := vec.Row(int(entry.Col))
+					diff := floats.Dot(xi, xj) - entry.Val
+					// Residual clipping keeps a rare large error from triggering
+					// the divergence of the unregularized factorization.
+					if diff > clipResidual {
+						diff = clipResidual
+					} else if diff < -clipResidual {
+						diff = -clipResidual
+					}
+					g := lr * diff
+					if entry.Row == entry.Col {
+						floats.Axpy(-2*g, xi, xi)
+						project(xi, maxNorm)
+						continue
+					}
+					// Simultaneous update of both factors, then projection.
+					for k := 0; k < dim; k++ {
+						xik, xjk := xi[k], xj[k]
+						xi[k] -= g * xjk
+						xj[k] -= g * xik
+					}
+					project(xi, maxNorm)
+					project(xj, maxNorm)
+				}
+				vec.Seal()
+			}, nil)
+			// Merged shard deltas can push a row past the ball each shard
+			// respected locally; re-project the touched rows in fixed row
+			// order (untouched rows stayed inside the ball by induction).
+			for i, m := range parallel.ReduceAveraged(local) {
+				if m > 0 {
+					project(e.Vectors.Row(i), maxNorm)
+				}
 			}
-			g := lr * diff
-			if entry.Row == entry.Col {
-				floats.Axpy(-2*g, xi, xi)
-				project(xi, maxNorm)
-				continue
-			}
-			// Simultaneous update of both factors, then projection.
-			for k := 0; k < dim; k++ {
-				xik, xjk := xi[k], xj[k]
-				xi[k] -= g * xjk
-				xj[k] -= g * xik
-			}
-			project(xi, maxNorm)
-			project(xj, maxNorm)
 		}
 	}
 	return e

@@ -21,6 +21,12 @@ type Config struct {
 	Precisions []int
 	Seeds      []int64
 
+	// Workers is the goroutine budget for embedding training and
+	// co-occurrence counting (<= 0 selects all CPUs). Trained embeddings
+	// are bitwise identical for every value, so it is a pure throughput
+	// knob and never part of an experiment's identity.
+	Workers int
+
 	// TopWords is the number of most-frequent words over which embedding
 	// distance measures are computed (the paper uses the top 10k).
 	TopWords int

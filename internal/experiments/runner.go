@@ -79,7 +79,7 @@ func (r *Runner) Pair(algo string, dim int, seed int64) (*embedding.Embedding, *
 		return e17, e18
 	}
 
-	tr, ok := embtrain.ByName(algo)
+	tr, ok := embtrain.ByNameWorkers(algo, r.Cfg.Workers)
 	if !ok {
 		panic("experiments: unknown algorithm " + algo)
 	}

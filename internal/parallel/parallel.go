@@ -1,0 +1,252 @@
+// Package parallel implements the deterministic sharded execution engine
+// behind the embedding trainers and the co-occurrence counter.
+//
+// The engine separates what parallel hardware is available (Workers) from
+// how work is partitioned (Shards). Work is always split into a fixed,
+// configuration-derived number of shards; each shard runs sequentially with
+// its own deterministically seeded RNG against state frozen at the start of
+// the round, and shard results are folded back into the shared state by an
+// ordered reduction (shard 0 first, then shard 1, ...). Because no shard
+// observes another shard's writes and the reduction order is fixed, the
+// result is bitwise identical for every worker count: Workers only controls
+// how many shards are in flight at once. Changing Shards changes the
+// (still deterministic) result, which is why it defaults to a constant
+// rather than the machine's CPU count.
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// DefaultShards is the fixed shard count used when a Shards knob is left
+// zero. It is a constant — never derived from GOMAXPROCS — so that results
+// do not depend on the machine the training ran on. Eight balances scaling
+// headroom against the per-shard cost of replicating the hottest rows.
+const DefaultShards = 8
+
+// Workers resolves a worker-count knob: values <= 0 select all CPUs.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Shards resolves a shard-count knob: values <= 0 select DefaultShards.
+func Shards(n int) int {
+	if n <= 0 {
+		return DefaultShards
+	}
+	return n
+}
+
+// Range is a half-open interval [Lo, Hi) of work-item indices.
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of items in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Ranges splits n items into shards contiguous near-equal ranges. The first
+// n%shards ranges hold one extra item; ranges may be empty when n < shards.
+// The partition depends only on (n, shards), never on scheduling.
+func Ranges(n, shards int) []Range {
+	rs := make([]Range, shards)
+	base, rem := n/shards, n%shards
+	lo := 0
+	for s := range rs {
+		hi := lo + base
+		if s < rem {
+			hi++
+		}
+		rs[s] = Range{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return rs
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to decorrelate shard seeds
+// derived from small consecutive integers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardSeed derives the RNG seed for one (shard, round) pair from a base
+// seed. Neighboring shards and rounds receive uncorrelated streams, and the
+// derivation is a pure function of its arguments, so per-shard randomness
+// is identical no matter which worker executes the shard.
+func ShardSeed(seed int64, shard, round int) int64 {
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ uint64(shard)<<1 ^ 0xa5a5a5a5a5a5a5a5)
+	h = splitmix64(h ^ uint64(round)<<1 ^ 0x5a5a5a5a5a5a5a5a)
+	return int64(h >> 1) // non-negative, full 63-bit range
+}
+
+// ShardRNG returns a rand.Rand seeded with ShardSeed(seed, shard, round).
+func ShardRNG(seed int64, shard, round int) *rand.Rand {
+	return rand.New(rand.NewSource(ShardSeed(seed, shard, round)))
+}
+
+// Run executes work(s) for every shard s in [0, shards) on up to workers
+// goroutines, waits for all shards to finish, and then calls reduce(s) for
+// each shard in ascending order (reduce may be nil). work must not mutate
+// state shared with other shards — it should read the pre-round state and
+// write only shard-private buffers; reduce folds those buffers back in.
+// Under this contract the combined result is bitwise independent of the
+// worker count and of goroutine scheduling.
+func Run(workers, shards int, work func(shard int), reduce func(shard int)) {
+	if shards <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > shards {
+		w = shards
+	}
+	if w <= 1 {
+		for s := 0; s < shards; s++ {
+			work(s)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for s := range next {
+					work(s)
+				}
+			}()
+		}
+		for s := 0; s < shards; s++ {
+			next <- s
+		}
+		close(next)
+		wg.Wait()
+	}
+	if reduce != nil {
+		for s := 0; s < shards; s++ {
+			reduce(s)
+		}
+	}
+}
+
+// Replica is one shard's copy-on-write view of a shared row-major matrix.
+// During a round the shard reads and writes rows through Row, which copies
+// a row from the shared state on first touch; Seal then turns the touched
+// rows into deltas against the (still frozen) shared state, and Reduce
+// folds them back in. Copying only touched rows keeps frequent
+// synchronization rounds affordable: per round the copy and merge cost is
+// proportional to the rows the shard actually updated, not to the matrix.
+//
+// The contract mirrors Run's: Begin/Row/Seal run inside work, while the
+// shared state is frozen (all shards' work completes before any
+// reduction), and Reduce runs in the ordered reduction. Under sequential
+// shard execution the order rows enter the dirty list is deterministic, so
+// reductions are bitwise reproducible for any worker count.
+type Replica struct {
+	shared []float64
+	rowLen int
+	local  []float64 // shard-private working copy (valid where stamped)
+	stamp  []int     // round id per row; row is live when stamp[i] == round
+	round  int
+	dirty  []int32 // touched rows in first-touch order
+}
+
+// NewReplica returns a replica of the shared matrix whose rows are rowLen
+// long. Vectors are matrices with rowLen 1.
+func NewReplica(shared []float64, rowLen int) *Replica {
+	rows := len(shared) / rowLen
+	return &Replica{
+		shared: shared,
+		rowLen: rowLen,
+		local:  make([]float64, len(shared)),
+		stamp:  make([]int, rows),
+		// Start at round 1 so the zero-valued stamps are never "live":
+		// a Row call before the first Begin still faults in the shared
+		// data instead of returning uninitialized zeros.
+		round: 1,
+	}
+}
+
+// Begin starts a new round: all rows revert to tracking the shared state.
+func (r *Replica) Begin() {
+	r.round++
+	r.dirty = r.dirty[:0]
+}
+
+// Row returns the shard-local working copy of row i, copying it from the
+// shared state the first time the row is touched in this round.
+func (r *Replica) Row(i int) []float64 {
+	lo, hi := i*r.rowLen, (i+1)*r.rowLen
+	if r.stamp[i] != r.round {
+		r.stamp[i] = r.round
+		copy(r.local[lo:hi], r.shared[lo:hi])
+		r.dirty = append(r.dirty, int32(i))
+	}
+	return r.local[lo:hi]
+}
+
+// Seal converts every touched row into a delta (local -= shared). It must
+// be the shard's last call of the round, inside work — the shared state is
+// frozen there, so no snapshot copy is needed.
+func (r *Replica) Seal() {
+	for _, i := range r.dirty {
+		lo := int(i) * r.rowLen
+		for k := 0; k < r.rowLen; k++ {
+			r.local[lo+k] -= r.shared[lo+k]
+		}
+	}
+}
+
+// Reduce folds the sealed deltas of every touched row back into the
+// shared state: shared[row] += delta[row]. Rows are processed in
+// first-touch order, which is deterministic because shard work runs
+// sequentially.
+func (r *Replica) Reduce() {
+	for _, i := range r.dirty {
+		lo := int(i) * r.rowLen
+		for k := 0; k < r.rowLen; k++ {
+			r.shared[lo+k] += r.local[lo+k]
+		}
+	}
+}
+
+// ReduceAveraged folds a whole round's worth of sealed shard replicas of
+// the same shared matrix at once, scaling each row's delta by one over the
+// number of shards that touched the row this round. Summing raw deltas is
+// correct for rows only one shard saw, but the frequent (Zipf-head) rows
+// are updated by every shard toward the same target, and summing those
+// nearly colinear deltas overshoots by up to a factor of the shard count;
+// per-row averaging removes exactly that overshoot while leaving
+// single-shard rows at full strength. The touch counts and the
+// shard-order application are pure functions of the shard contents, so the
+// merged result remains bitwise identical for every worker count.
+//
+// The returned slice holds the per-row touch counts (zero for rows no
+// shard touched), letting callers post-process exactly the merged rows.
+func ReduceAveraged(reps []*Replica) []int32 {
+	if len(reps) == 0 {
+		return nil
+	}
+	counts := make([]int32, len(reps[0].stamp))
+	for _, r := range reps {
+		for _, i := range r.dirty {
+			counts[i]++
+		}
+	}
+	for _, r := range reps {
+		for _, i := range r.dirty {
+			lo := int(i) * r.rowLen
+			scale := 1 / float64(counts[i])
+			for k := 0; k < r.rowLen; k++ {
+				r.shared[lo+k] += r.local[lo+k] * scale
+			}
+		}
+	}
+	return counts
+}

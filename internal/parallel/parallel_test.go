@@ -1,0 +1,194 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRangesCoverAllItems(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{0, 4}, {1, 4}, {3, 4}, {4, 4}, {5, 4}, {17, 4}, {100, 16}, {16, 16},
+	} {
+		rs := Ranges(tc.n, tc.shards)
+		if len(rs) != tc.shards {
+			t.Fatalf("Ranges(%d,%d): %d ranges", tc.n, tc.shards, len(rs))
+		}
+		covered := 0
+		prev := 0
+		for _, r := range rs {
+			if r.Lo != prev || r.Hi < r.Lo {
+				t.Fatalf("Ranges(%d,%d): non-contiguous %+v", tc.n, tc.shards, rs)
+			}
+			covered += r.Len()
+			prev = r.Hi
+		}
+		if covered != tc.n || prev != tc.n {
+			t.Fatalf("Ranges(%d,%d): covered %d ending at %d", tc.n, tc.shards, covered, prev)
+		}
+	}
+}
+
+func TestRangesBalanced(t *testing.T) {
+	rs := Ranges(103, 16)
+	min, max := rs[0].Len(), rs[0].Len()
+	for _, r := range rs {
+		if r.Len() < min {
+			min = r.Len()
+		}
+		if r.Len() > max {
+			max = r.Len()
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("imbalanced ranges: min=%d max=%d", min, max)
+	}
+}
+
+func TestShardSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for shard := 0; shard < 32; shard++ {
+		for round := 0; round < 32; round++ {
+			s := ShardSeed(7, shard, round)
+			if s < 0 {
+				t.Fatalf("negative shard seed %d", s)
+			}
+			if seen[s] {
+				t.Fatalf("duplicate seed for shard=%d round=%d", shard, round)
+			}
+			seen[s] = true
+		}
+	}
+	if ShardSeed(1, 0, 0) == ShardSeed(2, 0, 0) {
+		t.Fatal("base seed does not affect shard seed")
+	}
+}
+
+func TestShardRNGDeterministic(t *testing.T) {
+	a := ShardRNG(42, 3, 5)
+	b := ShardRNG(42, 3, 5)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("ShardRNG not deterministic")
+		}
+	}
+}
+
+func TestRunReducesInOrderAfterAllWork(t *testing.T) {
+	const shards = 16
+	var mu sync.Mutex
+	done := map[int]bool{}
+	var reduced []int
+	Run(4, shards, func(s int) {
+		mu.Lock()
+		done[s] = true
+		mu.Unlock()
+	}, func(s int) {
+		if len(done) != shards {
+			t.Errorf("reduce(%d) ran before all work finished", s)
+		}
+		reduced = append(reduced, s)
+	})
+	for i, s := range reduced {
+		if i != s {
+			t.Fatalf("reduction out of order: %v", reduced)
+		}
+	}
+	if len(reduced) != shards {
+		t.Fatalf("reduced %d shards, want %d", len(reduced), shards)
+	}
+}
+
+// TestRunWorkerInvariant is the engine's core property on a miniature
+// trainer: shard-local accumulation with an ordered reduction must be
+// bitwise identical across worker counts, including the sequential path.
+func TestRunWorkerInvariant(t *testing.T) {
+	train := func(workers int) []float64 {
+		const shards = 8
+		state := make([]float64, 32)
+		reps := make([]*Replica, shards)
+		for s := range reps {
+			reps[s] = NewReplica(state, 4)
+		}
+		for round := 0; round < 5; round++ {
+			Run(workers, shards, func(s int) {
+				r := reps[s]
+				r.Begin()
+				rng := ShardRNG(9, s, round)
+				for i := 0; i < 200; i++ {
+					row := r.Row(rng.Intn(8))
+					row[rng.Intn(4)] += rng.Float64() - 0.3
+				}
+				r.Seal()
+			}, func(s int) {
+				reps[s].Reduce()
+			})
+		}
+		return state
+	}
+	ref := train(1)
+	for _, w := range []int{2, 3, 4, 8, 16} {
+		got := train(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d differs from workers=1 at %d: %v vs %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestWorkersAndShardsDefaults(t *testing.T) {
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("Workers must resolve non-positive to at least 1")
+	}
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Shards(0) != DefaultShards || Shards(-2) != DefaultShards {
+		t.Fatal("Shards must default to DefaultShards")
+	}
+	if Shards(5) != 5 {
+		t.Fatal("explicit shard count not honored")
+	}
+}
+
+func TestReplicaRowBeforeBeginFaultsInSharedData(t *testing.T) {
+	shared := []float64{7, 8}
+	r := NewReplica(shared, 1)
+	if got := r.Row(1)[0]; got != 8 {
+		t.Fatalf("pre-Begin Row returned %v, want the shared value 8", got)
+	}
+}
+
+func TestReplicaSealReduce(t *testing.T) {
+	shared := []float64{1, 2, 3, 4}
+	r := NewReplica(shared, 2)
+	r.Begin()
+	row := r.Row(1)
+	row[0] += 10
+	r.Seal()
+	r.Reduce()
+	want := []float64{1, 2, 13, 4}
+	for i := range want {
+		if shared[i] != want[i] {
+			t.Fatalf("shared = %v, want %v", shared, want)
+		}
+	}
+}
+
+func TestReduceAveragedScalesSharedRows(t *testing.T) {
+	shared := []float64{0, 0}
+	a := NewReplica(shared, 1)
+	b := NewReplica(shared, 1)
+	for _, r := range []*Replica{a, b} {
+		r.Begin()
+	}
+	a.Row(0)[0] += 4 // row 0 touched by both shards: averaged
+	b.Row(0)[0] += 2
+	b.Row(1)[0] += 5 // row 1 touched by one shard: full strength
+	a.Seal()
+	b.Seal()
+	ReduceAveraged([]*Replica{a, b})
+	if shared[0] != 3 || shared[1] != 5 {
+		t.Fatalf("shared = %v, want [3 5]", shared)
+	}
+}
