@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet fmt bench bench-artifacts
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# Kernel and measure micro-benchmarks (the set CI archives per PR),
+# including the retained pre-PR k-NN loop for speedup comparison.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMulATB|BenchmarkMulABT|BenchmarkKNNMeasure|BenchmarkSVD|BenchmarkEigenspaceInstability|BenchmarkPIPLoss|BenchmarkSemanticDisplacement|BenchmarkQuantize' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkKNNMeasureReference3000' -benchtime 1x ./internal/core
+
+# Full paper-artifact regeneration benchmarks (slow; trains the grid).
+bench-artifacts:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkTable|BenchmarkRule|BenchmarkProp' -benchtime 1x .

@@ -16,7 +16,9 @@
 //     worker count
 //   - compression: uniform quantization with shared clipping thresholds
 //   - measures:  eigenspace instability, k-NN, semantic displacement,
-//     PIP loss, eigenspace overlap
+//     PIP loss, eigenspace overlap — built on cache-blocked parallel
+//     matrix kernels and a batched k-NN engine, deterministic for any
+//     worker count
 //   - downstream: sentiment (linear BOW, CNN), NER (BiLSTM, BiLSTM-CRF),
 //     knowledge graph embeddings (TransE), mini-BERT
 //   - selection: dimension-precision selection under memory budgets
@@ -129,8 +131,16 @@ func NewEigenspaceInstability(e, eTilde *Embedding) *EigenspaceInstability {
 }
 
 // AllMeasures returns the paper's five embedding distance measures in
-// reporting order, with the given EIS anchors.
+// reporting order, with the given EIS anchors, running on all CPUs.
 func AllMeasures(e, eTilde *Embedding) []Measure { return core.AllMeasures(e, eTilde) }
+
+// AllMeasuresWorkers is AllMeasures with an explicit goroutine budget
+// (workers <= 0 selects all CPUs). Like training, measure evaluation is
+// bitwise deterministic: every measure returns the same value for every
+// worker count.
+func AllMeasuresWorkers(e, eTilde *Embedding, workers int) []Measure {
+	return core.AllMeasuresWorkers(e, eTilde, workers)
+}
 
 // PredictionDisagreement returns the fraction of aligned predictions that
 // differ between two downstream models (Definition 1, zero-one loss).

@@ -146,6 +146,57 @@ func BenchmarkKNNMeasure(b *testing.B) {
 	}
 }
 
+// BenchmarkKNNMeasure3000 runs the batched k-NN engine at a vocabulary
+// size where its speedup over the seed implementation is visible; the
+// pre-PR loop is timed by BenchmarkKNNMeasureReference3000 in
+// internal/core. The measure value is identical for every worker count.
+func BenchmarkKNNMeasure3000(b *testing.B) {
+	x, xt := benchEmbeddings(3000, 64)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			m := &core.KNN{K: 5, Queries: 1000, Seed: 1, Workers: w}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Distance(x, xt)
+			}
+		})
+	}
+}
+
+// BenchmarkMulATB times the blocked parallel aᵀ·b kernel at measure-layer
+// scale (Gram matrices of a 3000-word embedding). The product is bitwise
+// identical for every worker count.
+func BenchmarkMulATB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := matrix.NewDenseRand(3000, 64, 1, rng)
+	y := matrix.NewDenseRand(3000, 64, 1, rng)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matrix.MulATBWorkers(x, y, w)
+			}
+		})
+	}
+}
+
+// BenchmarkMulABT times the blocked parallel a·bᵀ kernel on the batched
+// k-NN engine's shape: a query block scored against a 3000-word
+// vocabulary.
+func BenchmarkMulABT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := matrix.NewDenseRand(128, 64, 1, rng)
+	n := matrix.NewDenseRand(3000, 64, 1, rng)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matrix.MulABTWorkers(q, n, w)
+			}
+		})
+	}
+}
+
 func BenchmarkPIPLoss(b *testing.B) {
 	x, xt := benchEmbeddings(300, 32)
 	b.ResetTimer()

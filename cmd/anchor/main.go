@@ -104,6 +104,7 @@ func cmdMeasure(args []string) error {
 	bPath := fs.String("b", "", "second embedding (gob)")
 	bits := fs.Int("bits", 32, "quantize both to this precision first")
 	top := fs.Int("top", 300, "compute measures over the top-N frequent words")
+	workers := fs.Int("workers", 0, "measure goroutines (0 = all CPUs; result is identical for any value)")
 	fs.Parse(args)
 	if *aPath == "" || *bPath == "" {
 		return fmt.Errorf("measure requires -a and -b")
@@ -127,7 +128,7 @@ func cmdMeasure(args []string) error {
 	ids := c17.TopWords(*top)
 	sa, sb := qa.SubRows(ids), qb.SubRows(ids)
 	ea, eb := a.SubRows(ids), b.SubRows(ids)
-	for _, m := range anchor.AllMeasures(ea, eb) {
+	for _, m := range anchor.AllMeasuresWorkers(ea, eb, *workers) {
 		fmt.Printf("%-24s %.6f\n", m.Name(), m.Distance(sa, sb))
 	}
 	return nil
@@ -140,7 +141,7 @@ func cmdStability(args []string) error {
 	bits := fs.Int("bits", 32, "precision in bits")
 	seed := fs.Int64("seed", 1, "seed for embeddings and downstream model")
 	task := fs.String("task", "sst2", "downstream task: sst2, mr, subj, mpqa, conll2003")
-	workers := fs.Int("workers", 0, "training goroutines (0 = all CPUs; result is identical for any value)")
+	workers := fs.Int("workers", 0, "training and measure goroutines (0 = all CPUs; result is identical for any value)")
 	fs.Parse(args)
 
 	cfg := anchor.DefaultCorpusConfig()
@@ -196,7 +197,7 @@ func cmdExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	id := fs.String("id", "fig1", "artifact id: "+strings.Join(anchor.ExperimentIDs(), ", "))
 	config := fs.String("config", "small", "config scale: small, bench, repro")
-	workers := fs.Int("workers", 0, "training goroutines (0 = all CPUs; result is identical for any value)")
+	workers := fs.Int("workers", 0, "training and measure goroutines (0 = all CPUs; result is identical for any value)")
 	fs.Parse(args)
 	var cfg anchor.ExperimentConfig
 	switch *config {

@@ -23,7 +23,7 @@ func main() {
 	all := flag.Bool("all", false, "run every registered artifact")
 	list := flag.Bool("list", false, "list artifact ids")
 	config := flag.String("config", "small", "config scale: small, bench, repro")
-	workers := flag.Int("workers", 0, "training goroutines (0 = all CPUs; result is identical for any value)")
+	workers := flag.Int("workers", 0, "training and measure goroutines (0 = all CPUs; result is identical for any value)")
 	flag.Parse()
 
 	if *list {

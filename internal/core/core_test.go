@@ -113,13 +113,13 @@ func TestKNNSymmetricIdentity(t *testing.T) {
 	}
 }
 
-func TestNearestKExcludesSelfAndSorted(t *testing.T) {
+func TestNeighborSetsExcludeSelf(t *testing.T) {
 	x := randEmb(20, 4, 9)
-	nb := nearestK(x, 3, 5)
-	if len(nb) != 5 {
-		t.Fatalf("got %d neighbors", len(nb))
+	sets := neighborSets(x, []int{3}, 5, 1)
+	if len(sets) != 1 || len(sets[0]) != 5 {
+		t.Fatalf("got %v", sets)
 	}
-	for _, w := range nb {
+	for _, w := range sets[0] {
 		if w == 3 {
 			t.Fatal("query included in its own neighbors")
 		}

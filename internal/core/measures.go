@@ -10,15 +10,16 @@
 package core
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"sync"
 
 	"anchor/internal/embedding"
 	"anchor/internal/floats"
 	"anchor/internal/matrix"
+	"anchor/internal/parallel"
 )
 
 // Measure is an embedding distance measure: given a pair of embeddings
@@ -29,15 +30,78 @@ type Measure interface {
 	Distance(x, xt *embedding.Embedding) float64
 }
 
-// svdCache memoizes thin SVDs keyed by embedding identity. The selection
-// experiments evaluate several measures over many pairs that share
-// embeddings, and the SVD dominates their cost.
+// DefaultSVDCacheCap bounds the shared SVD cache. Each entry holds an
+// n-by-r factor, so an unbounded cache grows without limit in long-running
+// processes that sweep many embedding configurations.
+const DefaultSVDCacheCap = 64
+
+// svdCache memoizes thin SVDs keyed by embedding identity with LRU
+// eviction at a fixed capacity. The selection experiments evaluate several
+// measures over many pairs that share embeddings, and the SVD dominates
+// their cost.
 type svdCache struct {
-	mu sync.Mutex
-	m  map[string]matrix.SVD
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used
 }
 
-var sharedSVDs = &svdCache{m: make(map[string]matrix.SVD)}
+type svdEntry struct {
+	key string
+	svd matrix.SVD
+}
+
+func newSVDCache(capacity int) *svdCache {
+	return &svdCache{cap: capacity, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+func (c *svdCache) get(key string) (matrix.SVD, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return matrix.SVD{}, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*svdEntry).svd, true
+}
+
+func (c *svdCache) put(key string, s matrix.SVD) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*svdEntry).svd = s
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&svdEntry{key: key, svd: s})
+	c.evictOverCapLocked()
+}
+
+// evictOverCapLocked drops least-recently-used entries until the cache is
+// within capacity. The caller must hold c.mu.
+func (c *svdCache) evictOverCapLocked() {
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*svdEntry).key)
+	}
+}
+
+var sharedSVDs = newSVDCache(DefaultSVDCacheCap)
+
+// SetSVDCacheCapacity resizes the shared SVD cache, evicting
+// least-recently-used entries if it shrinks. capacity <= 0 restores
+// DefaultSVDCacheCap.
+func SetSVDCacheCapacity(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultSVDCacheCap
+	}
+	sharedSVDs.mu.Lock()
+	defer sharedSVDs.mu.Unlock()
+	sharedSVDs.cap = capacity
+	sharedSVDs.evictOverCapLocked()
+}
 
 // cacheKey returns a unique identity for the embedding, or "" if the
 // embedding carries no provenance (ad-hoc matrices are never cached).
@@ -50,21 +114,18 @@ func cacheKey(e *embedding.Embedding) string {
 	return fmt.Sprintf("%s@%dx%d", e.Meta.String(), e.Rows(), e.Dim())
 }
 
-func thinSVD(e *embedding.Embedding) matrix.SVD {
+func thinSVD(e *embedding.Embedding) matrix.SVD { return thinSVDWorkers(e, 0) }
+
+func thinSVDWorkers(e *embedding.Embedding, workers int) matrix.SVD {
 	key := cacheKey(e)
 	if key == "" {
-		return matrix.ComputeSVD(e.Vectors)
+		return matrix.ComputeSVDWorkers(e.Vectors, workers)
 	}
-	sharedSVDs.mu.Lock()
-	s, ok := sharedSVDs.m[key]
-	sharedSVDs.mu.Unlock()
-	if ok {
+	if s, ok := sharedSVDs.get(key); ok {
 		return s
 	}
-	s = matrix.ComputeSVD(e.Vectors)
-	sharedSVDs.mu.Lock()
-	sharedSVDs.m[key] = s
-	sharedSVDs.mu.Unlock()
+	s := matrix.ComputeSVDWorkers(e.Vectors, workers)
+	sharedSVDs.put(key, s)
 	return s
 }
 
@@ -72,18 +133,25 @@ func thinSVD(e *embedding.Embedding) matrix.SVD {
 // processes that retrain embeddings under identical metadata).
 func ResetSVDCache() {
 	sharedSVDs.mu.Lock()
-	sharedSVDs.m = make(map[string]matrix.SVD)
+	sharedSVDs.m = make(map[string]*list.Element)
+	sharedSVDs.lru = list.New()
 	sharedSVDs.mu.Unlock()
 }
 
 // KNN is the k-nearest-neighbor instability measure used in prior work on
 // intrinsic embedding stability (Hellrich & Hahn 2016; Antoniak & Mimno
 // 2018; Wendlandt et al. 2018). Distance returns 1 − (average neighbor
-// overlap) over Queries randomly sampled query words.
+// overlap) over Queries randomly sampled query words, computed by the
+// batched engine in knn.go: rows normalized once, query-block similarities
+// through the parallel MulABT kernel, top-k via a bounded heap, and the
+// two embeddings' neighbor sets evaluated concurrently.
 type KNN struct {
 	K       int
 	Queries int
 	Seed    int64
+	// Workers bounds the goroutines used (<= 0 selects all CPUs). The
+	// result is identical for every worker count.
+	Workers int
 }
 
 // NewKNN returns the paper's configuration: k=5 (chosen in Appendix D.3),
@@ -104,73 +172,49 @@ func (m *KNN) Distance(x, xt *embedding.Embedding) float64 {
 	if q > n {
 		q = n
 	}
-	queries := rng.Perm(n)[:q]
+	queries := sampleIndices(rng, n, q)
 
+	var na, nb [][]int32
+	if parallel.Workers(m.Workers) > 1 {
+		// The two embeddings' neighbor sets are independent; overlap them.
+		half := (parallel.Workers(m.Workers) + 1) / 2
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nb = neighborSets(xt, queries, m.K, half)
+		}()
+		na = neighborSets(x, queries, m.K, half)
+		wg.Wait()
+	} else {
+		na = neighborSets(x, queries, m.K, 1)
+		nb = neighborSets(xt, queries, m.K, 1)
+	}
+
+	// Reduce in query order so the sum is independent of scheduling.
 	var overlap float64
-	for _, qi := range queries {
-		na := nearestK(x, qi, m.K)
-		nb := nearestK(xt, qi, m.K)
-		inA := make(map[int]bool, len(na))
-		for _, w := range na {
-			inA[w] = true
-		}
-		shared := 0
-		for _, w := range nb {
-			if inA[w] {
-				shared++
-			}
-		}
-		overlap += float64(shared) / float64(m.K)
+	for i := range queries {
+		overlap += float64(knnOverlap(na[i], nb[i])) / float64(m.K)
 	}
 	return 1 - overlap/float64(len(queries))
 }
 
-// nearestK returns the indices of the k words most similar to query by
-// cosine similarity, excluding the query itself.
-func nearestK(e *embedding.Embedding, query, k int) []int {
-	type cand struct {
-		idx int
-		sim float64
-	}
-	qv := e.Vector(query)
-	cands := make([]cand, 0, e.Rows()-1)
-	for i := 0; i < e.Rows(); i++ {
-		if i == query {
-			continue
-		}
-		cands = append(cands, cand{i, floats.CosineSim(qv, e.Vector(i))})
-	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].sim != cands[b].sim {
-			return cands[a].sim > cands[b].sim
-		}
-		return cands[a].idx < cands[b].idx
-	})
-	if k > len(cands) {
-		k = len(cands)
-	}
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = cands[i].idx
-	}
-	return out
-}
-
 // SemanticDisplacement measures the average cosine distance between
 // aligned word vectors after solving orthogonal Procrustes (Hamilton et
-// al. 2016): (1/n) Σ cos-dist(X_i, (X̃R)_i).
-type SemanticDisplacement struct{}
+// al. 2016): (1/n) Σ cos-dist(X_i, (X̃R)_i). Workers bounds the
+// goroutines used (<= 0 selects all CPUs) without changing the result.
+type SemanticDisplacement struct{ Workers int }
 
 // Name implements Measure.
 func (SemanticDisplacement) Name() string { return "semantic-displacement" }
 
 // Distance implements Measure.
-func (SemanticDisplacement) Distance(x, xt *embedding.Embedding) float64 {
+func (m SemanticDisplacement) Distance(x, xt *embedding.Embedding) float64 {
 	if x.Rows() != xt.Rows() || x.Dim() != xt.Dim() {
 		panic("core: SemanticDisplacement shape mismatch")
 	}
-	r := matrix.Procrustes(x.Vectors, xt.Vectors)
-	aligned := matrix.Mul(xt.Vectors, r)
+	r := matrix.ProcrustesWorkers(x.Vectors, xt.Vectors, m.Workers)
+	aligned := matrix.MulWorkers(xt.Vectors, r, m.Workers)
 	var sum float64
 	for i := 0; i < x.Rows(); i++ {
 		sum += floats.CosineDist(x.Vector(i), aligned.Row(i))
@@ -180,20 +224,21 @@ func (SemanticDisplacement) Distance(x, xt *embedding.Embedding) float64 {
 
 // PIPLoss is the pairwise inner product loss ‖XXᵀ − X̃X̃ᵀ‖_F (Yin & Shen
 // 2018), computed without materializing the n-by-n Gram matrices via
-// ‖XXᵀ − X̃X̃ᵀ‖²_F = ‖XᵀX‖²_F + ‖X̃ᵀX̃‖²_F − 2‖XᵀX̃‖²_F.
-type PIPLoss struct{}
+// ‖XXᵀ − X̃X̃ᵀ‖²_F = ‖XᵀX‖²_F + ‖X̃ᵀX̃‖²_F − 2‖XᵀX̃‖²_F. Workers bounds
+// the goroutines used (<= 0 selects all CPUs) without changing the result.
+type PIPLoss struct{ Workers int }
 
 // Name implements Measure.
 func (PIPLoss) Name() string { return "pip-loss" }
 
 // Distance implements Measure.
-func (PIPLoss) Distance(x, xt *embedding.Embedding) float64 {
+func (m PIPLoss) Distance(x, xt *embedding.Embedding) float64 {
 	if x.Rows() != xt.Rows() {
 		panic("core: PIPLoss row mismatch")
 	}
-	gx := matrix.MulATB(x.Vectors, x.Vectors)
-	gt := matrix.MulATB(xt.Vectors, xt.Vectors)
-	cross := matrix.MulATB(x.Vectors, xt.Vectors)
+	gx := matrix.MulATBWorkers(x.Vectors, x.Vectors, m.Workers)
+	gt := matrix.MulATBWorkers(xt.Vectors, xt.Vectors, m.Workers)
+	cross := matrix.MulATBWorkers(x.Vectors, xt.Vectors, m.Workers)
 	fx, ft, fc := gx.FrobNorm(), gt.FrobNorm(), cross.FrobNorm()
 	v := fx*fx + ft*ft - 2*fc*fc
 	if v < 0 {
@@ -204,20 +249,21 @@ func (PIPLoss) Distance(x, xt *embedding.Embedding) float64 {
 
 // EigenspaceOverlap is 1 minus the eigenspace overlap score
 // (1/max(d,d̃))‖UᵀŨ‖²_F of May et al. 2019, so that larger means more
-// unstable like every other measure here.
-type EigenspaceOverlap struct{}
+// unstable like every other measure here. Workers bounds the goroutines
+// used (<= 0 selects all CPUs) without changing the result.
+type EigenspaceOverlap struct{ Workers int }
 
 // Name implements Measure.
 func (EigenspaceOverlap) Name() string { return "1-eigenspace-overlap" }
 
 // Distance implements Measure.
-func (EigenspaceOverlap) Distance(x, xt *embedding.Embedding) float64 {
+func (m EigenspaceOverlap) Distance(x, xt *embedding.Embedding) float64 {
 	if x.Rows() != xt.Rows() {
 		panic("core: EigenspaceOverlap row mismatch")
 	}
-	u := thinSVD(x).U
-	ut := thinSVD(xt).U
-	cross := matrix.MulATB(u, ut)
+	u := thinSVDWorkers(x, m.Workers).U
+	ut := thinSVDWorkers(xt, m.Workers).U
+	cross := matrix.MulATBWorkers(u, ut, m.Workers)
 	f := cross.FrobNorm()
 	denom := float64(u.Cols)
 	if ut.Cols > u.Cols {
@@ -238,6 +284,9 @@ type EigenspaceInstability struct {
 	E, ETilde *embedding.Embedding
 	// Alpha weights high-eigenvalue directions (the paper selects α=3).
 	Alpha float64
+	// Workers bounds the goroutines used (<= 0 selects all CPUs). The
+	// result is identical for every worker count.
+	Workers int
 }
 
 // NewEigenspaceInstability returns the measure with the paper's α=3.
@@ -254,31 +303,33 @@ func (m *EigenspaceInstability) Distance(x, xt *embedding.Embedding) float64 {
 	if xt.Rows() != n || m.E.Rows() != n || m.ETilde.Rows() != n {
 		panic("core: EigenspaceInstability row mismatch")
 	}
-	u := thinSVD(x).U
-	ut := thinSVD(xt).U
+	u := thinSVDWorkers(x, m.Workers).U
+	ut := thinSVDWorkers(xt, m.Workers).U
 
 	num := 0.0
 	den := 0.0
 	for _, anchor := range []*embedding.Embedding{m.E, m.ETilde} {
-		s := thinSVD(anchor)
-		// Scale V's columns by σ^α: VRα has shape n-by-r.
+		s := thinSVDWorkers(anchor, m.Workers)
+		// Scale V's columns by σ^α: VRα has shape n-by-r. σ^α is hoisted
+		// into a per-column vector — it is constant down each column.
+		scale := powColumnScales(s.S, m.Alpha)
 		vra := s.U.Clone() // left singular vectors of the anchor (n-by-r)
 		for i := 0; i < vra.Rows; i++ {
 			row := vra.Row(i)
 			for j := range row {
-				row[j] *= math.Pow(s.S[j], m.Alpha)
+				row[j] *= scale[j]
 			}
 		}
-		uv := matrix.MulATB(u, vra)   // Uᵀ V Rα  (d-by-r)
-		utv := matrix.MulATB(ut, vra) // Ũᵀ V Rα  (k-by-r)
-		uut := matrix.MulATB(ut, u)   // Ũᵀ U    (k-by-d)
+		uv := matrix.MulATBWorkers(u, vra, m.Workers)   // Uᵀ V Rα  (d-by-r)
+		utv := matrix.MulATBWorkers(ut, vra, m.Workers) // Ũᵀ V Rα  (k-by-r)
+		uut := matrix.MulATBWorkers(ut, u, m.Workers)   // Ũᵀ U    (k-by-d)
 
 		fuv := uv.FrobNorm()
 		futv := utv.FrobNorm()
 		num += fuv*fuv + futv*futv
 
 		// −2 tr(Rα Vᵀ Ũ Ũᵀ U Uᵀ V Rα) = −2 tr((Ũᵀ V Rα)ᵀ (ŨᵀU)(Uᵀ V Rα)).
-		mid := matrix.Mul(uut, uv) // k-by-r
+		mid := matrix.MulWorkers(uut, uv, m.Workers) // k-by-r
 		var tr float64
 		for i := range mid.Data {
 			tr += mid.Data[i] * utv.Data[i]
@@ -310,11 +361,12 @@ func (m *EigenspaceInstability) NaiveDistance(x, xt *embedding.Embedding) float6
 	sigma := matrix.NewDense(n, n)
 	for _, anchor := range []*embedding.Embedding{m.E, m.ETilde} {
 		s := thinSVD(anchor)
+		scale := powColumnScales(s.S, m.Alpha)
 		va := s.U.Clone()
 		for i := 0; i < va.Rows; i++ {
 			row := va.Row(i)
 			for j := range row {
-				row[j] *= math.Pow(s.S[j], m.Alpha)
+				row[j] *= scale[j]
 			}
 		}
 		sigma.Add(matrix.MulABT(va, va))
@@ -335,14 +387,37 @@ func (m *EigenspaceInstability) NaiveDistance(x, xt *embedding.Embedding) float6
 	return num / den
 }
 
+// powColumnScales returns σ_j^α for every singular value, computed once
+// per column instead of once per matrix row.
+func powColumnScales(s []float64, alpha float64) []float64 {
+	scale := make([]float64, len(s))
+	for j, sv := range s {
+		scale[j] = math.Pow(sv, alpha)
+	}
+	return scale
+}
+
 // AllMeasures returns the paper's five measures in reporting order, with
-// the given anchors for the eigenspace instability measure.
+// the given anchors for the eigenspace instability measure, running on
+// all CPUs.
 func AllMeasures(e, eTilde *embedding.Embedding) []Measure {
+	return AllMeasuresWorkers(e, eTilde, 0)
+}
+
+// AllMeasuresWorkers is AllMeasures with an explicit goroutine budget
+// threaded into every measure (workers <= 0 selects all CPUs). Worker
+// count is a pure throughput knob: every measure returns the same value
+// for every worker count.
+func AllMeasuresWorkers(e, eTilde *embedding.Embedding, workers int) []Measure {
+	eis := NewEigenspaceInstability(e, eTilde)
+	eis.Workers = workers
+	knn := NewKNN()
+	knn.Workers = workers
 	return []Measure{
-		NewEigenspaceInstability(e, eTilde),
-		NewKNN(),
-		SemanticDisplacement{},
-		PIPLoss{},
-		EigenspaceOverlap{},
+		eis,
+		knn,
+		SemanticDisplacement{Workers: workers},
+		PIPLoss{Workers: workers},
+		EigenspaceOverlap{Workers: workers},
 	}
 }

@@ -21,10 +21,13 @@ type Config struct {
 	Precisions []int
 	Seeds      []int64
 
-	// Workers is the goroutine budget for embedding training and
-	// co-occurrence counting (<= 0 selects all CPUs). Trained embeddings
-	// are bitwise identical for every value, so it is a pure throughput
-	// knob and never part of an experiment's identity.
+	// Workers is the goroutine budget for embedding training,
+	// co-occurrence counting, distance-measure evaluation, and the
+	// grid sweep itself (<= 0 selects all CPUs). A few shared helpers
+	// (embedding alignment, downstream-model autodiff) use the matrix
+	// package's all-CPU defaults regardless. Trained embeddings and
+	// measure values are bitwise identical for every value, so it is a
+	// pure throughput knob and never part of an experiment's identity.
 	Workers int
 
 	// TopWords is the number of most-frequent words over which embedding

@@ -92,7 +92,7 @@ func (r *Runner) kgeTable(id string, sharedThreshold bool) []*Table {
 		}
 	}
 	results := make([]row, len(jobs))
-	parallelFor(len(jobs), func(i int) {
+	parallelFor(r.Cfg.Workers, len(jobs), func(i int) {
 		j := jobs[i]
 		p := r.kgePair(j.dim, j.seed)
 		q95, qFull := kge.QuantizePair(p.m95, p.mFull, j.prec)

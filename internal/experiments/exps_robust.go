@@ -212,7 +212,7 @@ func Prop1(r *Runner) []*Table {
 	x := x17.SubRows(ids)
 	xt := x18.SubRows(ids)
 	for _, alpha := range []float64{1, 3} {
-		m := &core.EigenspaceInstability{E: e, ETilde: et, Alpha: alpha}
+		m := &core.EigenspaceInstability{E: e, ETilde: et, Alpha: alpha, Workers: r.Cfg.Workers}
 		closed := m.Distance(x, xt)
 		sqrtSigma := core.AnchorCovarianceSqrt(e, et, alpha)
 		mc := core.ExpectedLinearDisagreement(x, xt, sqrtSigma, 500, 99)

@@ -283,7 +283,7 @@ func Table8(r *Runner) []*Table {
 		for _, algo := range r.Cfg.Algorithms {
 			for _, seed := range r.Cfg.Seeds {
 				e, et := r.Anchors(algo, seed)
-				m := &core.EigenspaceInstability{E: e, ETilde: et, Alpha: alpha}
+				m := &core.EigenspaceInstability{E: e, ETilde: et, Alpha: alpha, Workers: r.Cfg.Workers}
 				// Correlate within this algo/seed only.
 				for _, task := range r.Cfg.SentimentTasks {
 					var mv, di []float64
@@ -316,7 +316,7 @@ func Table8(r *Runner) []*Table {
 		Columns: []string{"k", "avg spearman"},
 	}
 	for _, k := range []int{1, 2, 5, 10, 50} {
-		m := &core.KNN{K: k, Queries: r.Cfg.KNNQueries, Seed: 7}
+		m := &core.KNN{K: k, Queries: r.Cfg.KNNQueries, Seed: 7, Workers: r.Cfg.Workers}
 		kT.AddRow(fmt.Sprintf("%d", k), avgCorr(m))
 	}
 	return []*Table{alphaT, kT}

@@ -93,7 +93,7 @@ func (r *Runner) grid(kind string, dims, precs []int, seeds []int64, sentTasks [
 	}
 
 	cells := make([]Cell, len(jobs))
-	parallelFor(len(jobs), func(i int) {
+	parallelFor(r.Cfg.Workers, len(jobs), func(i int) {
 		j := jobs[i]
 		cells[i] = r.evalCell(j.algo, j.dim, j.prec, j.seed, sentTasks, withNER)
 	})

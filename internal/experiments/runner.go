@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"anchor/internal/compress"
@@ -10,6 +9,7 @@ import (
 	"anchor/internal/corpus"
 	"anchor/internal/embedding"
 	"anchor/internal/embtrain"
+	"anchor/internal/parallel"
 	"anchor/internal/tasks/ner"
 	"anchor/internal/tasks/sentiment"
 )
@@ -151,12 +151,19 @@ func (r *Runner) NERData() *ner.Dataset {
 }
 
 // Measures returns the configured measure set for (algo, seed), with the
-// eigenspace instability anchors resolved.
+// eigenspace instability anchors resolved and the config's worker budget
+// threaded into every measure.
 func (r *Runner) Measures(algo string, seed int64) []core.Measure {
 	e, et := r.Anchors(algo, seed)
-	eis := &core.EigenspaceInstability{E: e, ETilde: et, Alpha: r.Cfg.Alpha}
-	knn := &core.KNN{K: r.Cfg.K, Queries: r.Cfg.KNNQueries, Seed: 7}
-	return []core.Measure{eis, knn, core.SemanticDisplacement{}, core.PIPLoss{}, core.EigenspaceOverlap{}}
+	w := r.Cfg.Workers
+	eis := &core.EigenspaceInstability{E: e, ETilde: et, Alpha: r.Cfg.Alpha, Workers: w}
+	knn := &core.KNN{K: r.Cfg.K, Queries: r.Cfg.KNNQueries, Seed: 7, Workers: w}
+	return []core.Measure{
+		eis, knn,
+		core.SemanticDisplacement{Workers: w},
+		core.PIPLoss{Workers: w},
+		core.EigenspaceOverlap{Workers: w},
+	}
 }
 
 // MeasureNames lists the measure names in reporting order (Table 1's rows).
@@ -167,33 +174,9 @@ func MeasureNames() []string {
 	}
 }
 
-// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines.
-// fn must synchronize its own writes to shared state.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines
+// (workers <= 0 selects all CPUs). fn must synchronize its own writes to
+// shared state.
+func parallelFor(workers, n int, fn func(i int)) {
+	parallel.Run(workers, n, fn, nil)
 }

@@ -67,17 +67,19 @@ func TestPairUnknownAlgorithmPanics(t *testing.T) {
 
 func TestParallelForCoversAllIndices(t *testing.T) {
 	const n = 137
-	var hits [n]int32
-	parallelFor(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
-	for i, h := range hits {
-		if h != 1 {
-			t.Fatalf("index %d executed %d times", i, h)
+	for _, workers := range []int{0, 1, 3} {
+		var hits [n]int32
+		parallelFor(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
 		}
 	}
 	// Degenerate sizes.
-	parallelFor(0, func(int) { t.Fatal("must not run") })
+	parallelFor(0, 0, func(int) { t.Fatal("must not run") })
 	ran := false
-	parallelFor(1, func(int) { ran = true })
+	parallelFor(0, 1, func(int) { ran = true })
 	if !ran {
 		t.Fatal("n=1 did not run")
 	}

@@ -14,6 +14,7 @@ func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("floats: Dot length mismatch")
 	}
+	y = y[:len(x)] // bounds-check elimination in the loop below
 	var s float64
 	for i, v := range x {
 		s += v * y[i]
@@ -26,6 +27,7 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("floats: Axpy length mismatch")
 	}
+	y = y[:len(x)] // bounds-check elimination in the loop below
 	for i, v := range x {
 		y[i] += alpha * v
 	}
@@ -43,6 +45,7 @@ func Add(x, y []float64) {
 	if len(x) != len(y) {
 		panic("floats: Add length mismatch")
 	}
+	y = y[:len(x)] // bounds-check elimination in the loop below
 	for i := range x {
 		x[i] += y[i]
 	}
@@ -53,6 +56,7 @@ func Sub(x, y []float64) {
 	if len(x) != len(y) {
 		panic("floats: Sub length mismatch")
 	}
+	y = y[:len(x)] // bounds-check elimination in the loop below
 	for i := range x {
 		x[i] -= y[i]
 	}

@@ -1,7 +1,10 @@
 // Package matrix implements the dense linear algebra used by anchor:
-// a row-major float64 matrix, matrix products, one-sided Jacobi SVD,
-// least squares, and the orthogonal Procrustes solution. All operations
-// are written against the flat backing slice for cache-friendly access.
+// a row-major float64 matrix, cache-blocked goroutine-parallel matrix
+// products (bitwise identical for every worker count — see kernels.go),
+// SVD via Gram eigendecomposition for tall-thin inputs with a one-sided
+// Jacobi fallback, least squares, and the orthogonal Procrustes solution.
+// All operations are written against the flat backing slice for
+// cache-friendly access.
 package matrix
 
 import (
@@ -120,61 +123,18 @@ func (m *Dense) mustSameShape(o *Dense) {
 // FrobNorm returns the Frobenius norm of m.
 func (m *Dense) FrobNorm() float64 { return floats.Norm(m.Data) }
 
-// Mul returns the matrix product a*b.
-func Mul(a, b *Dense) *Dense {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("matrix: Mul inner dimension mismatch %d vs %d", a.Cols, b.Rows))
-	}
-	out := NewDense(a.Rows, b.Cols)
-	// ikj loop order: stream over b's rows for cache locality.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			floats.Axpy(av, brow, orow)
-		}
-	}
-	return out
-}
+// Mul returns the matrix product a*b, computed by the blocked parallel
+// kernel on all CPUs. The result is bitwise identical for every worker
+// count (see kernels.go for the determinism contract).
+func Mul(a, b *Dense) *Dense { return MulWorkers(a, b, 0) }
 
-// MulATB returns aᵀ*b without materializing aᵀ.
-func MulATB(a, b *Dense) *Dense {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("matrix: MulATB row mismatch %d vs %d", a.Rows, b.Rows))
-	}
-	out := NewDense(a.Cols, b.Cols)
-	for r := 0; r < a.Rows; r++ {
-		arow := a.Row(r)
-		brow := b.Row(r)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			floats.Axpy(av, brow, out.Row(i))
-		}
-	}
-	return out
-}
+// MulATB returns aᵀ*b without materializing aᵀ, computed by the blocked
+// parallel kernel on all CPUs.
+func MulATB(a, b *Dense) *Dense { return MulATBWorkers(a, b, 0) }
 
-// MulABT returns a*bᵀ without materializing bᵀ.
-func MulABT(a, b *Dense) *Dense {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("matrix: MulABT col mismatch %d vs %d", a.Cols, b.Cols))
-	}
-	out := NewDense(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = floats.Dot(arow, b.Row(j))
-		}
-	}
-	return out
-}
+// MulABT returns a*bᵀ without materializing bᵀ, computed by the blocked
+// parallel kernel on all CPUs.
+func MulABT(a, b *Dense) *Dense { return MulABTWorkers(a, b, 0) }
 
 // MulVec returns the matrix-vector product m*x.
 func MulVec(m *Dense, x []float64) []float64 {

@@ -1,0 +1,154 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"anchor/internal/floats"
+)
+
+// The naive references below reproduce the pre-blocking serial kernels
+// loop-for-loop. The golden tests assert the blocked parallel kernels are
+// BITWISE identical to them for every worker count — the determinism
+// contract the measure layer relies on.
+
+func naiveMul(a, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			floats.Axpy(av, b.Row(k), orow)
+		}
+	}
+	return out
+}
+
+func naiveMulATB(a, b *Dense) *Dense {
+	out := NewDense(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			floats.Axpy(av, brow, out.Row(i))
+		}
+	}
+	return out
+}
+
+func naiveMulABT(a, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = floats.Dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+func matBitwiseEqual(t *testing.T, got, want *Dense, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: entry %d = %x, want %x (not bitwise equal)", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// kernelWorkerCounts spans serial, fewer-than/more-than-core, and
+// non-divisor band splits.
+var kernelWorkerCounts = []int{1, 2, 3, 4, 7, 8}
+
+// sparseRand returns a matrix with random entries and ~10% exact zeros, so
+// the zero-skip path (which preserves signed-zero behavior) is exercised.
+func sparseRand(r, c int, rng *rand.Rand) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		if rng.Intn(10) == 0 {
+			continue
+		}
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMulBlockedBitwiseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Shapes straddling the block sizes and the serial-small cutoff.
+	for _, sh := range [][3]int{{3, 5, 4}, {40, 130, 33}, {300, 70, 45}, {129, 257, 9}} {
+		a := sparseRand(sh[0], sh[1], rng)
+		b := sparseRand(sh[1], sh[2], rng)
+		want := naiveMul(a, b)
+		for _, w := range kernelWorkerCounts {
+			matBitwiseEqual(t, MulWorkers(a, b, w), want, "Mul")
+		}
+	}
+}
+
+func TestMulATBBlockedBitwiseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, sh := range [][3]int{{5, 3, 4}, {130, 40, 33}, {300, 64, 64}, {257, 9, 129}} {
+		a := sparseRand(sh[0], sh[1], rng)
+		b := sparseRand(sh[0], sh[2], rng)
+		want := naiveMulATB(a, b)
+		for _, w := range kernelWorkerCounts {
+			matBitwiseEqual(t, MulATBWorkers(a, b, w), want, "MulATB")
+		}
+	}
+}
+
+func TestMulABTBlockedBitwiseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, sh := range [][3]int{{4, 6, 5}, {130, 33, 90}, {300, 64, 300}, {9, 257, 129}} {
+		a := sparseRand(sh[0], sh[1], rng)
+		b := sparseRand(sh[2], sh[1], rng)
+		want := naiveMulABT(a, b)
+		for _, w := range kernelWorkerCounts {
+			matBitwiseEqual(t, MulABTWorkers(a, b, w), want, "MulABT")
+		}
+	}
+}
+
+func TestMulIntoReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := NewDenseRand(20, 30, 1, rng)
+	b := NewDenseRand(30, 10, 1, rng)
+	dst := NewDense(20, 10)
+	floats.Fill(dst.Data, 42) // stale contents must be overwritten
+	MulInto(dst, a, b, 2)
+	matBitwiseEqual(t, dst, naiveMul(a, b), "MulInto")
+
+	at := NewDenseRand(30, 20, 1, rng)
+	dstT := NewDense(20, 10)
+	floats.Fill(dstT.Data, -7)
+	MulATBInto(dstT, at, b, 2)
+	matBitwiseEqual(t, dstT, naiveMulATB(at, b), "MulATBInto")
+
+	bt := NewDenseRand(10, 30, 1, rng)
+	dstBT := NewDense(20, 10)
+	floats.Fill(dstBT.Data, 3)
+	MulABTInto(dstBT, a, bt, 2)
+	matBitwiseEqual(t, dstBT, naiveMulABT(a, bt), "MulABTInto")
+}
+
+func TestMulIntoShapePanics(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(3, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dst shape")
+		}
+	}()
+	MulInto(NewDense(2, 3), a, b, 1)
+}
