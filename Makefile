@@ -15,10 +15,13 @@ fmt:
 	gofmt -l .
 
 # Kernel and measure micro-benchmarks (the set CI archives per PR),
-# including the retained pre-PR k-NN loop for speedup comparison.
+# including the retained pre-PR k-NN loop for speedup comparison, plus the
+# downstream-training benchmarks (fast vs retained reference trainers) and
+# the grid-cell benchmark with allocation counts.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMulATB|BenchmarkMulABT|BenchmarkKNNMeasure|BenchmarkSVD|BenchmarkEigenspaceInstability|BenchmarkPIPLoss|BenchmarkSemanticDisplacement|BenchmarkQuantize' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkKNNMeasureReference3000' -benchtime 1x ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkTrainLinearBOW|BenchmarkNERTrain|BenchmarkGridCell' -benchmem .
 
 # Full paper-artifact regeneration benchmarks (slow; trains the grid).
 bench-artifacts:

@@ -26,6 +26,8 @@ import (
 	"anchor/internal/experiments"
 	"anchor/internal/kge"
 	"anchor/internal/matrix"
+	"anchor/internal/tasks/ner"
+	"anchor/internal/tasks/sentiment"
 )
 
 var (
@@ -194,6 +196,92 @@ func BenchmarkMulABT(b *testing.B) {
 				matrix.MulABTWorkers(q, n, w)
 			}
 		})
+	}
+}
+
+// ---- downstream-training benchmarks (fast path vs retained reference) ----
+//
+// The fast and reference trainers produce bitwise-identical models (see
+// the equality tests in internal/tasks), so the fast/reference ratio is
+// pure overhead eliminated: per-op allocation, unfused op compositions,
+// and per-call temporaries.
+
+func benchSentimentSetup() (*embedding.Embedding, *sentiment.Dataset) {
+	c := benchCorpus()
+	emb := embtrain.NewMC().Train(c, 32, 1)
+	ds := sentiment.Generate(c, corpus.TestConfig(), sentiment.SST2Params())
+	return emb, ds
+}
+
+func BenchmarkTrainLinearBOW(b *testing.B) {
+	emb, ds := benchSentimentSetup()
+	cfg := sentiment.DefaultLinearBOWConfig(1)
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sentiment.TrainLinearBOW(emb, ds, cfg)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sentiment.TrainLinearBOWReference(emb, ds, cfg)
+		}
+	})
+}
+
+func BenchmarkNERTrain(b *testing.B) {
+	c := benchCorpus()
+	emb := embtrain.NewMC().Train(c, 16, 1)
+	p := ner.CoNLLParams()
+	p.TrainN, p.ValN, p.TestN = 120, 30, 60
+	ds := ner.Generate(c, corpus.TestConfig(), p)
+	cfg := ner.DefaultConfig(1)
+	cfg.Epochs = 3
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ner.Train(emb, ds, cfg)
+		}
+	})
+	// The bitwise-equality twin of the fast trainer: same lockstep batch
+	// schedule, retained slow ops (fresh heap tape per batch, unfused
+	// compositions, per-op temporaries).
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ner.TrainReference(emb, ds, cfg)
+		}
+	})
+	// The seed's trainer (one tape and one SGD step per sentence per
+	// epoch) at its own tuned learning rate — the pre-batching baseline.
+	oldCfg := cfg
+	oldCfg.LR = 0.4
+	b.Run("per-sentence", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ner.TrainPerSentence(emb, ds, oldCfg)
+		}
+	})
+}
+
+// BenchmarkGridCell times one full uncached grid-cell evaluation (all
+// distance measures plus two sentiment tasks × two downstream models) with
+// embeddings, anchors, and datasets pre-warmed — the unit of work the
+// dimension × precision × seed sweep repeats.
+func BenchmarkGridCell(b *testing.B) {
+	r := experiments.NewRunner(experiments.SmallConfig())
+	r.Cfg.Workers = 1
+	tasks := []string{"sst2", "subj"}
+	r.Pair("mc", 16, 1)
+	r.Anchors("mc", 1)
+	for _, task := range tasks {
+		r.SentimentData(task)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.EvalCell("mc", 16, 4, 1, tasks, false)
 	}
 }
 

@@ -7,28 +7,35 @@
 //	experiments -list
 //	experiments -id fig2 -config bench
 //	experiments -all -config bench
+//	experiments -id fig1 -config bench -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"anchor"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	id := flag.String("id", "", "artifact id to run (see -list)")
 	all := flag.Bool("all", false, "run every registered artifact")
 	list := flag.Bool("list", false, "list artifact ids")
 	config := flag.String("config", "small", "config scale: small, bench, repro")
 	workers := flag.Int("workers", 0, "training and measure goroutines (0 = all CPUs; result is identical for any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(anchor.ExperimentIDs(), "\n"))
-		return
+		return 0
 	}
 	var cfg anchor.ExperimentConfig
 	switch *config {
@@ -40,9 +47,40 @@ func main() {
 		cfg = anchor.ReproExperimentConfig()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
-		os.Exit(2)
+		return 2
 	}
 	cfg.Workers = *workers
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	var err error
 	switch {
@@ -52,10 +90,11 @@ func main() {
 		err = anchor.RunExperiment(cfg, *id, os.Stdout)
 	default:
 		fmt.Fprintln(os.Stderr, "pass -id <artifact> or -all (use -list for ids)")
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -9,6 +9,23 @@
 // reverse. Nodes wrap matrix.Dense values; gradients accumulate into
 // per-node buffers, and parameter nodes share their gradient buffer with
 // the caller so optimizers can consume them.
+//
+// Tapes come in two flavors with identical numerics:
+//
+//   - NewTape returns a classic tape that heap-allocates every node,
+//     value, and gradient. It is retained as the slow reference path for
+//     equality tests and benchmarks.
+//   - NewArenaTape returns a tape backed by a resettable arena (arena.go):
+//     Reset rewinds the arena so capacity is reused across minibatches,
+//     making steady-state training nearly allocation-free.
+//
+// Determinism contract (extending the matrix package's): every op performs
+// the same floating-point operations in the same per-element order on both
+// tape flavors, matrix products run through the blocked kernels whose
+// results are bitwise identical for every worker count, and the fused ops
+// in fused.go are bitwise identical to the unfused compositions they
+// replace. Training a model on an arena tape with fused ops therefore
+// yields bitwise-identical weights to the classic reference path.
 package autodiff
 
 import (
@@ -23,8 +40,9 @@ import (
 type Node struct {
 	Value *matrix.Dense
 	grad  *matrix.Dense
-	needs bool   // participates in gradient computation
-	back  func() // propagates n.grad into parents
+	needs bool        // participates in gradient computation
+	tape  *Tape       // owning tape (for gradient/scratch allocation)
+	back  func(*Node) // propagates the node's grad into its parents
 }
 
 // Grad returns the gradient accumulated for this node (nil until Backward
@@ -33,7 +51,7 @@ func (n *Node) Grad() *matrix.Dense { return n.grad }
 
 func (n *Node) ensureGrad() *matrix.Dense {
 	if n.grad == nil {
-		n.grad = matrix.NewDense(n.Value.Rows, n.Value.Cols)
+		n.grad = n.tape.newZeroDense(n.Value.Rows, n.Value.Cols)
 	}
 	return n.grad
 }
@@ -57,24 +75,115 @@ func (p *Param) ZeroGrad() { floats.Fill(p.Grad.Data, 0) }
 // Tape records a computation for reverse-mode differentiation.
 type Tape struct {
 	nodes []*Node
+	arena *arena // nil for classic heap-allocating tapes
+
+	// Workers is the goroutine budget for the tape's matrix-product
+	// kernels (<= 0 selects all CPUs). Products are bitwise identical for
+	// every value, so this is a pure throughput knob; trainers that
+	// already parallelize at a coarser grain set it to 1.
+	Workers int
 }
 
-// NewTape returns an empty tape.
+// NewTape returns an empty classic tape that heap-allocates per op (the
+// retained slow reference path).
 func NewTape() *Tape { return &Tape{} }
 
+// NewArenaTape returns a tape whose nodes, values, gradients, and scratch
+// come from a resettable arena. Call Reset between minibatches to reuse
+// the arena's capacity; values and gradients recorded before a Reset are
+// invalid afterwards.
+func NewArenaTape() *Tape { return &Tape{arena: &arena{}} }
+
+// Reset clears the tape for re-recording. On arena tapes all previously
+// returned nodes, values, and gradients become invalid and their storage
+// is reused; parameters (and their Grad accumulators) are unaffected.
+func (t *Tape) Reset() {
+	t.nodes = t.nodes[:0]
+	if t.arena != nil {
+		t.arena.reset()
+	}
+}
+
+// ---- allocation helpers (arena-backed when available) ----
+
+func (t *Tape) newNode() *Node {
+	if t.arena != nil {
+		return t.arena.node()
+	}
+	return &Node{}
+}
+
+// newDense returns an r-by-c matrix whose contents the caller fully
+// overwrites (arena memory is stale, not zeroed).
+func (t *Tape) newDense(r, c int) *matrix.Dense {
+	if t.arena != nil {
+		d := t.arena.dense()
+		d.Rows, d.Cols = r, c
+		d.Data = t.arena.floats(r * c)
+		return d
+	}
+	return matrix.NewDense(r, c)
+}
+
+// newZeroDense returns a zeroed r-by-c matrix.
+func (t *Tape) newZeroDense(r, c int) *matrix.Dense {
+	d := t.newDense(r, c)
+	if t.arena != nil {
+		floats.Fill(d.Data, 0)
+	}
+	return d
+}
+
+// newDenseCopy returns a copy of src.
+func (t *Tape) newDenseCopy(src *matrix.Dense) *matrix.Dense {
+	d := t.newDense(src.Rows, src.Cols)
+	copy(d.Data, src.Data)
+	return d
+}
+
+func (t *Tape) newFloats(n int) []float64 {
+	if t.arena != nil {
+		return t.arena.floats(n)
+	}
+	return make([]float64, n)
+}
+
+func (t *Tape) newInts(n int) []int {
+	if t.arena != nil {
+		return t.arena.ints(n)
+	}
+	return make([]int, n)
+}
+
 func (t *Tape) add(n *Node) *Node {
+	n.tape = t
 	t.nodes = append(t.nodes, n)
 	return n
 }
 
 // Const introduces a value that does not require gradients.
 func (t *Tape) Const(v *matrix.Dense) *Node {
-	return t.add(&Node{Value: v})
+	n := t.newNode()
+	n.Value = v
+	return t.add(n)
+}
+
+// NewConstBuf returns a constant node with a freshly allocated zeroed
+// r-by-c value for the caller to fill in place (arena-backed on arena
+// tapes). It is the allocation-free analogue of Const(matrix.NewDense(..)).
+func (t *Tape) NewConstBuf(r, c int) *Node {
+	n := t.newNode()
+	n.Value = t.newZeroDense(r, c)
+	return t.add(n)
 }
 
 // Use introduces a parameter; gradients accumulate into p.Grad.
 func (t *Tape) Use(p *Param) *Node {
-	return t.add(&Node{Value: p.Value, grad: p.Grad, needs: true})
+	n := t.newNode()
+	n.Value = p.Value
+	n.grad = p.Grad
+	n.needs = true
+	return t.add(n)
 }
 
 // Backward runs reverse-mode differentiation from the scalar loss node,
@@ -87,30 +196,35 @@ func (t *Tape) Backward(loss *Node) {
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		n := t.nodes[i]
 		if n.back != nil && n.grad != nil {
-			n.back()
+			n.back(n)
 		}
 	}
 }
 
 func (t *Tape) unary(a *Node, value *matrix.Dense, back func(out *Node)) *Node {
-	out := &Node{Value: value, needs: a.needs}
+	out := t.newNode()
+	out.Value = value
+	out.needs = a.needs
 	if a.needs {
-		out.back = func() { back(out) }
+		out.back = back
 	}
 	return t.add(out)
 }
 
 func (t *Tape) binary(a, b *Node, value *matrix.Dense, back func(out *Node)) *Node {
-	out := &Node{Value: value, needs: a.needs || b.needs}
+	out := t.newNode()
+	out.Value = value
+	out.needs = a.needs || b.needs
 	if out.needs {
-		out.back = func() { back(out) }
+		out.back = back
 	}
 	return t.add(out)
 }
 
 // Add returns a + b (same shape).
 func (t *Tape) Add(a, b *Node) *Node {
-	v := a.Value.Clone().Add(b.Value)
+	v := t.newDenseCopy(a.Value)
+	v.Add(b.Value)
 	return t.binary(a, b, v, func(out *Node) {
 		if a.needs {
 			a.ensureGrad().Add(out.grad)
@@ -123,7 +237,8 @@ func (t *Tape) Add(a, b *Node) *Node {
 
 // Sub returns a - b (same shape).
 func (t *Tape) Sub(a, b *Node) *Node {
-	v := a.Value.Clone().Sub(b.Value)
+	v := t.newDenseCopy(a.Value)
+	v.Sub(b.Value)
 	return t.binary(a, b, v, func(out *Node) {
 		if a.needs {
 			a.ensureGrad().Add(out.grad)
@@ -136,9 +251,9 @@ func (t *Tape) Sub(a, b *Node) *Node {
 
 // Mul returns the element-wise product a ⊙ b.
 func (t *Tape) Mul(a, b *Node) *Node {
-	v := a.Value.Clone()
-	for i := range v.Data {
-		v.Data[i] *= b.Value.Data[i]
+	v := t.newDense(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		v.Data[i] = x * b.Value.Data[i]
 	}
 	return t.binary(a, b, v, func(out *Node) {
 		if a.needs {
@@ -158,35 +273,52 @@ func (t *Tape) Mul(a, b *Node) *Node {
 
 // Scale returns alpha * a.
 func (t *Tape) Scale(a *Node, alpha float64) *Node {
-	v := a.Value.Clone().Scale(alpha)
+	v := t.newDense(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		v.Data[i] = x * alpha
+	}
 	return t.unary(a, v, func(out *Node) {
 		g := a.ensureGrad()
 		floats.Axpy(alpha, out.grad.Data, g.Data)
 	})
 }
 
-// MatMul returns a · b.
+// MatMul returns a · b, computed by the blocked kernel; the backward pass
+// runs the transposed-product kernels into tape scratch, avoiding the two
+// temporaries the pre-arena implementation allocated per call.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	v := matrix.Mul(a.Value, b.Value)
+	v := t.newDense(a.Value.Rows, b.Value.Cols)
+	matrix.MulInto(v, a.Value, b.Value, t.Workers)
 	return t.binary(a, b, v, func(out *Node) {
+		tp := out.tape
 		if a.needs {
-			a.ensureGrad().Add(matrix.MulABT(out.grad, b.Value))
+			s := tp.newDense(a.Value.Rows, a.Value.Cols)
+			matrix.MulABTInto(s, out.grad, b.Value, tp.Workers)
+			a.ensureGrad().Add(s)
 		}
 		if b.needs {
-			b.ensureGrad().Add(matrix.MulATB(a.Value, out.grad))
+			s := tp.newDense(b.Value.Rows, b.Value.Cols)
+			matrix.MulATBInto(s, a.Value, out.grad, tp.Workers)
+			b.ensureGrad().Add(s)
 		}
 	})
 }
 
 // MatMulABT returns a · bᵀ (used for attention scores).
 func (t *Tape) MatMulABT(a, b *Node) *Node {
-	v := matrix.MulABT(a.Value, b.Value)
+	v := t.newDense(a.Value.Rows, b.Value.Rows)
+	matrix.MulABTInto(v, a.Value, b.Value, t.Workers)
 	return t.binary(a, b, v, func(out *Node) {
+		tp := out.tape
 		if a.needs {
-			a.ensureGrad().Add(matrix.Mul(out.grad, b.Value))
+			s := tp.newDense(a.Value.Rows, a.Value.Cols)
+			matrix.MulInto(s, out.grad, b.Value, tp.Workers)
+			a.ensureGrad().Add(s)
 		}
 		if b.needs {
-			b.ensureGrad().Add(matrix.MulATB(out.grad, a.Value))
+			s := tp.newDense(b.Value.Rows, b.Value.Cols)
+			matrix.MulATBInto(s, out.grad, a.Value, tp.Workers)
+			b.ensureGrad().Add(s)
 		}
 	})
 }
@@ -196,7 +328,7 @@ func (t *Tape) AddRowVec(a, b *Node) *Node {
 	if b.Value.Rows != 1 || b.Value.Cols != a.Value.Cols {
 		panic("autodiff: AddRowVec shape mismatch")
 	}
-	v := a.Value.Clone()
+	v := t.newDenseCopy(a.Value)
 	for i := 0; i < v.Rows; i++ {
 		floats.Add(v.Row(i), b.Value.Row(0))
 	}
@@ -218,7 +350,7 @@ func (t *Tape) AddColVec(a, b *Node) *Node {
 	if b.Value.Cols != 1 || b.Value.Rows != a.Value.Rows {
 		panic("autodiff: AddColVec shape mismatch")
 	}
-	v := a.Value.Clone()
+	v := t.newDenseCopy(a.Value)
 	for i := 0; i < v.Rows; i++ {
 		bi := b.Value.At(i, 0)
 		row := v.Row(i)
@@ -240,8 +372,8 @@ func (t *Tape) AddColVec(a, b *Node) *Node {
 }
 
 func (t *Tape) pointwise(a *Node, f, df func(float64) float64) *Node {
-	v := a.Value.Clone()
-	for i, x := range v.Data {
+	v := t.newDense(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
 		v.Data[i] = f(x)
 	}
 	return t.unary(a, v, func(out *Node) {
@@ -299,7 +431,7 @@ func (t *Tape) GELU(a *Node) *Node {
 
 // SoftmaxRows applies softmax independently to each row.
 func (t *Tape) SoftmaxRows(a *Node) *Node {
-	v := matrix.NewDense(a.Value.Rows, a.Value.Cols)
+	v := t.newDense(a.Value.Rows, a.Value.Cols)
 	for i := 0; i < v.Rows; i++ {
 		floats.Softmax(v.Row(i), a.Value.Row(i))
 	}
@@ -318,9 +450,13 @@ func (t *Tape) SoftmaxRows(a *Node) *Node {
 }
 
 // GatherRows selects rows of a by index (embedding lookup). Gradients
-// scatter-add back into the source rows.
+// scatter-add back into the source rows. The index slice is copied, so
+// callers may reuse their buffer after the call.
 func (t *Tape) GatherRows(a *Node, idx []int) *Node {
-	v := matrix.NewDense(len(idx), a.Value.Cols)
+	cp := t.newInts(len(idx))
+	copy(cp, idx)
+	idx = cp
+	v := t.newDense(len(idx), a.Value.Cols)
 	for r, id := range idx {
 		copy(v.Row(r), a.Value.Row(id))
 	}
@@ -344,7 +480,7 @@ func (t *Tape) ConcatCols(nodes ...*Node) *Node {
 		cols += n.Value.Cols
 		needs = needs || n.needs
 	}
-	v := matrix.NewDense(rows, cols)
+	v := t.newDense(rows, cols)
 	off := 0
 	for _, n := range nodes {
 		for i := 0; i < rows; i++ {
@@ -352,9 +488,11 @@ func (t *Tape) ConcatCols(nodes ...*Node) *Node {
 		}
 		off += n.Value.Cols
 	}
-	out := &Node{Value: v, needs: needs}
+	out := t.newNode()
+	out.Value = v
+	out.needs = needs
 	if needs {
-		out.back = func() {
+		out.back = func(out *Node) {
 			off := 0
 			for _, n := range nodes {
 				if n.needs {
@@ -382,15 +520,17 @@ func (t *Tape) ConcatRows(nodes ...*Node) *Node {
 		rows += n.Value.Rows
 		needs = needs || n.needs
 	}
-	v := matrix.NewDense(rows, cols)
+	v := t.newDense(rows, cols)
 	r := 0
 	for _, n := range nodes {
 		copy(v.Data[r*cols:(r+n.Value.Rows)*cols], n.Value.Data)
 		r += n.Value.Rows
 	}
-	out := &Node{Value: v, needs: needs}
+	out := t.newNode()
+	out.Value = v
+	out.needs = needs
 	if needs {
-		out.back = func() {
+		out.back = func(out *Node) {
 			r := 0
 			for _, n := range nodes {
 				if n.needs {
@@ -406,13 +546,13 @@ func (t *Tape) ConcatRows(nodes ...*Node) *Node {
 
 // SliceCols returns columns [from, to) of a.
 func (t *Tape) SliceCols(a *Node, from, to int) *Node {
-	v := matrix.NewDense(a.Value.Rows, to-from)
+	v := t.newDense(a.Value.Rows, to-from)
 	for i := 0; i < v.Rows; i++ {
 		copy(v.Row(i), a.Value.Row(i)[from:to])
 	}
 	return t.unary(a, v, func(out *Node) {
 		g := a.ensureGrad()
-		for i := 0; i < v.Rows; i++ {
+		for i := 0; i < out.Value.Rows; i++ {
 			floats.Add(g.Row(i)[from:to], out.grad.Row(i))
 		}
 	})
@@ -421,7 +561,7 @@ func (t *Tape) SliceCols(a *Node, from, to int) *Node {
 // SliceRows returns rows [from, to) of a.
 func (t *Tape) SliceRows(a *Node, from, to int) *Node {
 	cols := a.Value.Cols
-	v := matrix.NewDense(to-from, cols)
+	v := t.newDense(to-from, cols)
 	copy(v.Data, a.Value.Data[from*cols:to*cols])
 	return t.unary(a, v, func(out *Node) {
 		g := a.ensureGrad()
@@ -431,7 +571,7 @@ func (t *Tape) SliceRows(a *Node, from, to int) *Node {
 
 // MeanRows averages rows into a 1-by-c node.
 func (t *Tape) MeanRows(a *Node) *Node {
-	v := matrix.NewDense(1, a.Value.Cols)
+	v := t.newZeroDense(1, a.Value.Cols)
 	for i := 0; i < a.Value.Rows; i++ {
 		floats.Add(v.Row(0), a.Value.Row(i))
 	}
@@ -449,8 +589,8 @@ func (t *Tape) MeanRows(a *Node) *Node {
 // gradients route to the argmax rows.
 func (t *Tape) MaxPoolRows(a *Node) *Node {
 	cols := a.Value.Cols
-	v := matrix.NewDense(1, cols)
-	arg := make([]int, cols)
+	v := t.newDense(1, cols)
+	arg := t.newInts(cols)
 	for j := 0; j < cols; j++ {
 		best, bi := a.Value.At(0, j), 0
 		for i := 1; i < a.Value.Rows; i++ {
@@ -474,9 +614,9 @@ func (t *Tape) MaxPoolRows(a *Node) *Node {
 func (t *Tape) LayerNormRows(a, gain, bias *Node) *Node {
 	const eps = 1e-5
 	rows, cols := a.Value.Rows, a.Value.Cols
-	v := matrix.NewDense(rows, cols)
-	xhat := matrix.NewDense(rows, cols)
-	invStd := make([]float64, rows)
+	v := t.newDense(rows, cols)
+	xhat := t.newDense(rows, cols)
+	invStd := t.newFloats(rows)
 	for i := 0; i < rows; i++ {
 		row := a.Value.Row(i)
 		mean := floats.Mean(row)
@@ -495,9 +635,12 @@ func (t *Tape) LayerNormRows(a, gain, bias *Node) *Node {
 			vr[j] = xr[j]*gain.Value.At(0, j) + bias.Value.At(0, j)
 		}
 	}
-	out := &Node{Value: v, needs: a.needs || gain.needs || bias.needs}
+	out := t.newNode()
+	out.Value = v
+	out.needs = a.needs || gain.needs || bias.needs
 	if out.needs {
-		out.back = func() {
+		out.back = func(out *Node) {
+			gd := out.tape.newFloats(cols)
 			for i := 0; i < rows; i++ {
 				og := out.grad.Row(i)
 				xr := xhat.Row(i)
@@ -513,7 +656,6 @@ func (t *Tape) LayerNormRows(a, gain, bias *Node) *Node {
 				}
 				if a.needs {
 					// dL/dx = (gain*og - mean(gain*og) - xhat*mean(gain*og*xhat)) * invStd
-					gd := make([]float64, cols)
 					for j := range gd {
 						gd[j] = og[j] * gain.Value.At(0, j)
 					}
@@ -541,15 +683,17 @@ func (t *Tape) Dropout(a *Node, p float64, rng *rand.Rand) *Node {
 		return a
 	}
 	keep := 1 - p
-	mask := matrix.NewDense(a.Value.Rows, a.Value.Cols)
+	mask := t.newDense(a.Value.Rows, a.Value.Cols)
 	for i := range mask.Data {
 		if rng.Float64() < keep {
 			mask.Data[i] = 1 / keep
+		} else {
+			mask.Data[i] = 0
 		}
 	}
-	v := a.Value.Clone()
-	for i := range v.Data {
-		v.Data[i] *= mask.Data[i]
+	v := t.newDense(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		v.Data[i] = x * mask.Data[i]
 	}
 	return t.unary(a, v, func(out *Node) {
 		g := a.ensureGrad()
@@ -562,9 +706,9 @@ func (t *Tape) Dropout(a *Node, p float64, rng *rand.Rand) *Node {
 // LogSumExpCols reduces over rows: out[0][j] = log Σ_i exp(a[i][j]).
 func (t *Tape) LogSumExpCols(a *Node) *Node {
 	rows, cols := a.Value.Rows, a.Value.Cols
-	v := matrix.NewDense(1, cols)
+	v := t.newDense(1, cols)
+	col := t.newFloats(rows)
 	for j := 0; j < cols; j++ {
-		col := make([]float64, rows)
 		for i := 0; i < rows; i++ {
 			col[i] = a.Value.At(i, j)
 		}
@@ -588,7 +732,8 @@ func (t *Tape) Reshape(a *Node, r, c int) *Node {
 	if r*c != a.Value.Rows*a.Value.Cols {
 		panic("autodiff: Reshape element count mismatch")
 	}
-	v := matrix.NewDenseData(r, c, append([]float64(nil), a.Value.Data...))
+	v := t.newDense(r, c)
+	copy(v.Data, a.Value.Data)
 	return t.unary(a, v, func(out *Node) {
 		g := a.ensureGrad()
 		floats.Add(g.Data, out.grad.Data)
@@ -597,7 +742,7 @@ func (t *Tape) Reshape(a *Node, r, c int) *Node {
 
 // SumAll reduces a to a 1x1 scalar node.
 func (t *Tape) SumAll(a *Node) *Node {
-	v := matrix.NewDense(1, 1)
+	v := t.newDense(1, 1)
 	v.Set(0, 0, floats.Sum(a.Value.Data))
 	return t.unary(a, v, func(out *Node) {
 		g := a.ensureGrad()
@@ -610,7 +755,7 @@ func (t *Tape) SumAll(a *Node) *Node {
 
 // At extracts element (i, j) as a 1x1 scalar node.
 func (t *Tape) At(a *Node, i, j int) *Node {
-	v := matrix.NewDense(1, 1)
+	v := t.newDense(1, 1)
 	v.Set(0, 0, a.Value.At(i, j))
 	return t.unary(a, v, func(out *Node) {
 		g := a.ensureGrad()
@@ -620,13 +765,17 @@ func (t *Tape) At(a *Node, i, j int) *Node {
 
 // CrossEntropy computes the mean softmax cross-entropy between logits
 // (n-by-C) and integer targets. The combined op is numerically stable and
-// has the exact gradient (softmax − onehot)/n.
+// has the exact gradient (softmax − onehot)/n. The target slice is
+// copied, so callers may reuse their buffer after the call.
 func (t *Tape) CrossEntropy(logits *Node, targets []int) *Node {
 	n := logits.Value.Rows
 	if len(targets) != n {
 		panic("autodiff: CrossEntropy target length mismatch")
 	}
-	probs := matrix.NewDense(n, logits.Value.Cols)
+	cp := t.newInts(n)
+	copy(cp, targets)
+	targets = cp
+	probs := t.newDense(n, logits.Value.Cols)
 	var loss float64
 	for i := 0; i < n; i++ {
 		floats.Softmax(probs.Row(i), logits.Value.Row(i))
@@ -636,7 +785,7 @@ func (t *Tape) CrossEntropy(logits *Node, targets []int) *Node {
 		}
 		loss -= math.Log(p)
 	}
-	v := matrix.NewDense(1, 1)
+	v := t.newDense(1, 1)
 	v.Set(0, 0, loss/float64(n))
 	return t.unary(logits, v, func(out *Node) {
 		g := logits.ensureGrad()

@@ -1,0 +1,227 @@
+package autodiff
+
+import (
+	"math/rand"
+	"testing"
+
+	"anchor/internal/matrix"
+)
+
+// sameDense fails unless a and b are bitwise identical.
+func sameDense(t *testing.T, name string, a, b *matrix.Dense) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("%s: element %d: %v != %v", name, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// ---- finite-difference gradient checks for every fused op ----
+
+func TestGradGateActivations(t *testing.T) {
+	const h = 3
+	gates := randParam("gates", 2, 4*h, 41)
+	w := randParam("w", 2, 4*h, 42)
+	gradCheck(t, "gateact", []*Param{gates, w}, func(tp *Tape) *Node {
+		return tp.SumAll(tp.Mul(tp.GateActivations(tp.Use(gates), h), tp.Use(w)))
+	})
+}
+
+func TestGradLSTMCell(t *testing.T) {
+	const h = 3
+	act := randParam("act", 2, 4*h, 43)
+	cPrev := randParam("cPrev", 2, h, 44)
+	// Squash act through sigmoid-ish ranges first so tanh'(c) is far from
+	// the flat tails, keeping finite differences well conditioned.
+	gradCheck(t, "lstmcell", []*Param{act, cPrev}, func(tp *Tape) *Node {
+		hN, cN := tp.LSTMCell(tp.GateActivations(tp.Use(act), h), h, tp.Use(cPrev))
+		return tp.Add(tp.SumAll(tp.Mul(hN, hN)), tp.SumAll(tp.Mul(cN, cN)))
+	})
+}
+
+func TestGradLSTMPreact(t *testing.T) {
+	const in, hid = 3, 2
+	x := randParam("x", 4, in, 45)
+	h := randParam("h", 4, hid, 46)
+	wx := randParam("wx", in, 4*hid, 47)
+	wh := randParam("wh", hid, 4*hid, 48)
+	b := randParam("b", 1, 4*hid, 49)
+	gradCheck(t, "lstmpreact", []*Param{x, h, wx, wh, b}, func(tp *Tape) *Node {
+		pre := tp.LSTMPreact(tp.Use(x), tp.Use(h), tp.Use(wx), tp.Use(wh), tp.Use(b))
+		return tp.SumAll(tp.Mul(pre, pre))
+	})
+}
+
+func TestGradMaxPoolSegRows(t *testing.T) {
+	a := randParam("a", 6, 4, 50) // 2 segments of 3 rows
+	gradCheck(t, "maxpoolseg", []*Param{a}, func(tp *Tape) *Node {
+		m := tp.MaxPoolSegRows(tp.Use(a), 3)
+		return tp.SumAll(tp.Mul(m, m))
+	})
+}
+
+// ---- bitwise equality of fused ops against their unfused compositions ----
+
+// lstmUnfusedStep replays the generic op composition of one LSTM step on
+// packed pre-activations (the pre-fusion tape structure).
+func lstmUnfusedStep(tp *Tape, gates, cPrev *Node, h int) (hNew, cNew *Node) {
+	i := tp.Sigmoid(tp.SliceCols(gates, 0, h))
+	f := tp.Sigmoid(tp.SliceCols(gates, h, 2*h))
+	g := tp.Tanh(tp.SliceCols(gates, 2*h, 3*h))
+	o := tp.Sigmoid(tp.SliceCols(gates, 3*h, 4*h))
+	cNew = tp.Add(tp.Mul(f, cPrev), tp.Mul(i, g))
+	hNew = tp.Mul(o, tp.Tanh(cNew))
+	return hNew, cNew
+}
+
+func TestFusedLSTMStepBitwiseEqualsUnfused(t *testing.T) {
+	const in, hid, batch, steps = 4, 3, 5, 4
+	rng := rand.New(rand.NewSource(51))
+	wx := NewParam("wx", matrix.NewDenseRand(in, 4*hid, 0.6, rng))
+	wh := NewParam("wh", matrix.NewDenseRand(hid, 4*hid, 0.6, rng))
+	b := NewParam("b", matrix.NewDenseRand(1, 4*hid, 0.6, rng))
+	xs := make([]*matrix.Dense, steps)
+	for t2 := range xs {
+		xs[t2] = matrix.NewDenseRand(batch, in, 1, rng)
+	}
+
+	run := func(tp *Tape, fused bool) *matrix.Dense {
+		h := tp.Const(matrix.NewDense(batch, hid))
+		c := tp.Const(matrix.NewDense(batch, hid))
+		wxN, whN, bN := tp.Use(wx), tp.Use(wh), tp.Use(b)
+		var outs []*Node
+		for _, x := range xs {
+			xN := tp.Const(x)
+			if fused {
+				pre := tp.LSTMPreact(xN, h, wxN, whN, bN)
+				act := tp.GateActivations(pre, hid)
+				h, c = tp.LSTMCell(act, hid, c)
+			} else {
+				gates := tp.AddRowVec(tp.Add(tp.MatMul(xN, wxN), tp.MatMul(h, whN)), bN)
+				h, c = lstmUnfusedStep(tp, gates, c, hid)
+			}
+			outs = append(outs, h)
+		}
+		stacked := tp.ConcatRows(outs...)
+		tp.Backward(tp.SumAll(tp.Mul(stacked, stacked)))
+		return stacked.Value
+	}
+
+	fusedOut := run(NewArenaTape(), true)
+	gWx := wx.Grad.Clone()
+	gWh := wh.Grad.Clone()
+	gB := b.Grad.Clone()
+	wx.ZeroGrad()
+	wh.ZeroGrad()
+	b.ZeroGrad()
+	unfusedOut := run(NewTape(), false)
+
+	sameDense(t, "hidden states", fusedOut, unfusedOut)
+	sameDense(t, "dWx", gWx, wx.Grad)
+	sameDense(t, "dWh", gWh, wh.Grad)
+	sameDense(t, "db", gB, b.Grad)
+}
+
+func TestMaxPoolSegRowsBitwiseEqualsComposition(t *testing.T) {
+	const segs, seg, cols = 3, 4, 5
+	a := randParam("a", segs*seg, cols, 52)
+	w := randParam("w", segs, cols, 53)
+
+	tp1 := NewArenaTape()
+	fused := tp1.MaxPoolSegRows(tp1.Use(a), seg)
+	tp1.Backward(tp1.SumAll(tp1.Mul(fused, tp1.Use(w))))
+	gFused := a.Grad.Clone()
+	a.ZeroGrad()
+	w.ZeroGrad()
+
+	tp2 := NewTape()
+	an := tp2.Use(a)
+	parts := make([]*Node, segs)
+	for s := 0; s < segs; s++ {
+		parts[s] = tp2.MaxPoolRows(tp2.SliceRows(an, s*seg, (s+1)*seg))
+	}
+	unfused := tp2.ConcatRows(parts...)
+	tp2.Backward(tp2.SumAll(tp2.Mul(unfused, tp2.Use(w))))
+
+	sameDense(t, "pooled", fused.Value, unfused.Value)
+	sameDense(t, "grad", gFused, a.Grad)
+}
+
+func TestLookupRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	src := matrix.NewDenseRand(6, 3, 1, rng)
+	tp := NewArenaTape()
+	n := tp.LookupRows(src, []int32{4, 0, 4})
+	for r, id := range []int{4, 0, 4} {
+		for j := 0; j < 3; j++ {
+			if n.Value.At(r, j) != src.At(id, j) {
+				t.Fatalf("row %d mismatch", r)
+			}
+		}
+	}
+	if n.Grad() != nil {
+		t.Fatal("lookup node must be constant")
+	}
+}
+
+// ---- arena behavior ----
+
+func TestArenaTapeResetReproducesBitwise(t *testing.T) {
+	// The same recording on a reset arena tape (reusing memory) and on a
+	// classic tape must produce identical values and gradients.
+	const h = 3
+	p := randParam("p", 4, 4*h, 55)
+	c0 := randParam("c0", 4, h, 56)
+
+	record := func(tp *Tape) (*matrix.Dense, *matrix.Dense, *matrix.Dense) {
+		act := tp.GateActivations(tp.Use(p), h)
+		hN, _ := tp.LSTMCell(act, h, tp.Use(c0))
+		loss := tp.CrossEntropy(hN, []int{0, 2, 1, 0})
+		tp.Backward(loss)
+		gp := p.Grad.Clone()
+		gc := c0.Grad.Clone()
+		p.ZeroGrad()
+		c0.ZeroGrad()
+		return hN.Value.Clone(), gp, gc
+	}
+
+	tp := NewArenaTape()
+	v1, gp1, gc1 := record(tp)
+	for i := 0; i < 3; i++ {
+		tp.Reset()
+		v2, gp2, gc2 := record(tp)
+		sameDense(t, "value after reset", v1, v2)
+		sameDense(t, "p grad after reset", gp1, gp2)
+		sameDense(t, "c0 grad after reset", gc1, gc2)
+	}
+	v3, gp3, gc3 := record(NewTape())
+	sameDense(t, "value vs classic", v1, v3)
+	sameDense(t, "p grad vs classic", gp1, gp3)
+	sameDense(t, "c0 grad vs classic", gc1, gc3)
+}
+
+func TestArenaTapeSteadyStateAllocations(t *testing.T) {
+	// After warmup, re-recording the same minibatch graph on a reset arena
+	// tape must allocate far less than one heap object per op (only the
+	// backward closures remain; values, gradients, and nodes are reused).
+	p := randParam("p", 8, 12, 57)
+	c0 := randParam("c0", 8, 3, 58)
+	tp := NewArenaTape()
+	step := func() {
+		tp.Reset()
+		act := tp.GateActivations(tp.Use(p), 3)
+		hN, _ := tp.LSTMCell(act, 3, tp.Use(c0))
+		tp.Backward(tp.CrossEntropy(hN, []int{0, 1, 2, 0, 1, 2, 0, 1}))
+		p.ZeroGrad()
+		c0.ZeroGrad()
+	}
+	step() // warm the arena
+	allocs := testing.AllocsPerRun(20, step)
+	if allocs > 12 {
+		t.Fatalf("steady-state arena tape allocates %.1f objects per step", allocs)
+	}
+}

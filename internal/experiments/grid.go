@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"anchor/internal/core"
+	"anchor/internal/parallel"
 	"anchor/internal/tasks/ner"
 	"anchor/internal/tasks/sentiment"
 )
@@ -46,7 +47,10 @@ func (r *Runner) NERGrid() []Cell {
 }
 
 func (r *Runner) grid(kind string, dims, precs []int, seeds []int64, sentTasks []string, withNER bool) []Cell {
-	key := fmt.Sprintf("%s|%v|%v|%v", kind, dims, precs, seeds)
+	// The key must cover every input that shapes the cells — including the
+	// task set and the NER flag, or two grids over the same ladder but
+	// different tasks would collide in the cache.
+	key := fmt.Sprintf("%s|%v|%v|%v|%v|%v", kind, dims, precs, seeds, sentTasks, withNER)
 	r.mu.Lock()
 	if g, ok := r.gridCache[key]; ok {
 		r.mu.Unlock()
@@ -105,7 +109,10 @@ func (r *Runner) grid(kind string, dims, precs []int, seeds []int64, sentTasks [
 }
 
 // evalCell quantizes the pair, computes all measures on the top words,
-// and trains/evaluates the enabled downstream tasks.
+// and trains/evaluates the enabled downstream tasks. The Wiki'17 and
+// Wiki'18 downstream models of each task are independent, so they train
+// concurrently when the worker budget allows; results are identical
+// either way.
 func (r *Runner) evalCell(algo string, dim, prec int, seed int64, sentTasks []string, withNER bool) Cell {
 	q17, q18 := r.QuantizedPair(algo, dim, prec, seed)
 	ids := r.TopWordIDs()
@@ -124,22 +131,50 @@ func (r *Runner) evalCell(algo string, dim, prec int, seed int64, sentTasks []st
 	for _, task := range sentTasks {
 		ds := r.SentimentData(task)
 		cfg := sentiment.DefaultLinearBOWConfig(seed)
-		m17 := sentiment.TrainLinearBOW(q17, ds, cfg)
-		m18 := sentiment.TrainLinearBOW(q18, ds, cfg)
-		cell.DI[task] = core.PredictionDisagreementPct(m17.Predict(ds.Test), m18.Predict(ds.Test))
-		cell.Acc[task] = m17.Accuracy(ds.Test)
+		var m17, m18 *sentiment.LinearBOW
+		r.trainPair(
+			func() { m17 = sentiment.TrainLinearBOW(q17, ds, cfg) },
+			func() { m18 = sentiment.TrainLinearBOW(q18, ds, cfg) },
+		)
+		// Test features: one blocked count-matrix product per embedding.
+		p17 := m17.PredictFeatures(sentiment.Features(q17, ds.TestCounts(), ds.Test, 1))
+		p18 := m18.PredictFeatures(sentiment.Features(q18, ds.TestCounts(), ds.Test, 1))
+		cell.DI[task] = core.PredictionDisagreementPct(p17, p18)
+		cell.Acc[task] = sentiment.AccuracyOf(p17, ds.Test)
 	}
 
 	if withNER {
 		ds := r.NERData()
 		cfg := ner.DefaultConfig(seed)
-		m17 := ner.Train(q17, ds, cfg)
-		m18 := ner.Train(q18, ds, cfg)
-		cell.DI["conll2003"] = core.PredictionDisagreementPct(
-			m17.EntityPredictions(ds.Test), m18.EntityPredictions(ds.Test))
-		cell.Acc["conll2003"] = m17.EntityTokenF1(ds.Test)
+		var m17, m18 *ner.Tagger
+		r.trainPair(
+			func() { m17 = ner.Train(q17, ds, cfg) },
+			func() { m18 = ner.Train(q18, ds, cfg) },
+		)
+		p17, f1 := m17.EvaluateEntities(ds.Test)
+		cell.DI["conll2003"] = core.PredictionDisagreementPct(p17, m18.EntityPredictions(ds.Test))
+		cell.Acc["conll2003"] = f1
 	}
 	return cell
+}
+
+// EvalCell evaluates one grid cell without touching the grid cache —
+// the unit of work the benchmarks time.
+func (r *Runner) EvalCell(algo string, dim, prec int, seed int64, sentTasks []string, withNER bool) Cell {
+	return r.evalCell(algo, dim, prec, seed, sentTasks, withNER)
+}
+
+// trainPair runs the two model trainings of a cell, concurrently when the
+// configured worker budget exceeds one. The trainings share no mutable
+// state, so the schedule cannot change their results.
+func (r *Runner) trainPair(f17, f18 func()) {
+	if parallel.Workers(r.Cfg.Workers) > 1 {
+		fns := []func(){f17, f18}
+		parallel.Run(2, 2, func(s int) { fns[s]() }, nil)
+	} else {
+		f17()
+		f18()
+	}
 }
 
 // AverageOverSeeds groups cells by (algo, dim, prec) and averages the

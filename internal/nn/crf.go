@@ -70,6 +70,42 @@ func (c *CRF) NegLogLikelihood(tp *autodiff.Tape, emissions *autodiff.Node, tags
 	return tp.Sub(logZ, score)
 }
 
+// NLLValue returns −log p(tags | emissions) as a plain float — the same
+// value NegLogLikelihood records on a tape, computed without autodiff.
+// Used for validation scoring, where no gradients are needed.
+func (c *CRF) NLLValue(emissions *matrix.Dense, tags []int) float64 {
+	n := emissions.Rows
+	if n == 0 || len(tags) != n {
+		panic("nn: CRF sequence/tags mismatch")
+	}
+	alpha := make([]float64, c.T)
+	next := make([]float64, c.T)
+	col := make([]float64, c.T)
+	for j := 0; j < c.T; j++ {
+		alpha[j] = c.Start.Value.At(0, j) + emissions.At(0, j)
+	}
+	for t := 1; t < n; t++ {
+		for j := 0; j < c.T; j++ {
+			for i := 0; i < c.T; i++ {
+				col[i] = alpha[i] + c.Trans.Value.At(i, j)
+			}
+			next[j] = floats.LogSumExp(col) + emissions.At(t, j)
+		}
+		alpha, next = next, alpha
+	}
+	for j := 0; j < c.T; j++ {
+		alpha[j] += c.End.Value.At(0, j)
+	}
+	logZ := floats.LogSumExp(alpha)
+
+	score := c.Start.Value.At(0, tags[0]) + emissions.At(0, tags[0])
+	for t := 1; t < n; t++ {
+		score += c.Trans.Value.At(tags[t-1], tags[t]) + emissions.At(t, tags[t])
+	}
+	score += c.End.Value.At(0, tags[n-1])
+	return logZ - score
+}
+
 // Decode returns the Viterbi-optimal tag sequence for the given emission
 // scores (no gradients involved).
 func (c *CRF) Decode(emissions *matrix.Dense) []int {

@@ -7,6 +7,7 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"anchor/internal/autodiff"
 	"anchor/internal/matrix"
@@ -79,12 +80,13 @@ func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
 // Params implements Module.
 func (l *LSTM) Params() []*autodiff.Param { return []*autodiff.Param{l.Wx, l.Wh, l.B} }
 
-// Step advances the cell one timestep. x is 1-by-In; h and c are 1-by-H
-// (pass nil for the initial zero state). It returns the new h and c.
+// Step advances the cell one timestep. x is B-by-In (B = 1 for a single
+// sentence, larger for a lockstep batch); h and c are B-by-H (pass nil for
+// the initial zero state). It returns the new h and c.
 func (l *LSTM) Step(tp *autodiff.Tape, x, h, c *autodiff.Node) (hNew, cNew *autodiff.Node) {
 	if h == nil {
-		h = tp.Const(matrix.NewDense(1, l.H))
-		c = tp.Const(matrix.NewDense(1, l.H))
+		h = tp.NewConstBuf(x.Value.Rows, l.H)
+		c = tp.NewConstBuf(x.Value.Rows, l.H)
 	}
 	gates := tp.AddRowVec(tp.Add(tp.MatMul(x, tp.Use(l.Wx)), tp.MatMul(h, tp.Use(l.Wh))), tp.Use(l.B))
 	i := tp.Sigmoid(tp.SliceCols(gates, 0, l.H))
@@ -124,6 +126,62 @@ func (l *LSTM) RunReverse(tp *autodiff.Tape, seq *autodiff.Node) *autodiff.Node 
 	return tp.ConcatRows(outs...)
 }
 
+// stepFused advances the cell one lockstep timestep through the fully
+// fused LSTMStep op. wx, wh, b are the parameter nodes, hoisted by the
+// caller so one Use per parameter serves the whole sequence. Bitwise
+// identical to Step.
+func (l *LSTM) stepFused(tp *autodiff.Tape, x, h, c, wx, wh, b *autodiff.Node) (hNew, cNew *autodiff.Node) {
+	if h == nil {
+		h = tp.NewConstBuf(x.Value.Rows, l.H)
+		c = tp.NewConstBuf(x.Value.Rows, l.H)
+	}
+	return tp.LSTMStep(x, h, c, wx, wh, b, l.H)
+}
+
+// RunSeq unrolls the cell over per-timestep input batches xs (each
+// B-by-In, one node per timestep of a length-bucketed minibatch) and
+// returns the per-timestep hidden-state nodes (each B-by-H). With
+// fused=true the step runs through the fused LSTM ops; with fused=false it
+// replays the generic op composition (the retained reference path). Both
+// produce bitwise-identical values and gradients.
+func (l *LSTM) RunSeq(tp *autodiff.Tape, xs []*autodiff.Node, fused bool) []*autodiff.Node {
+	outs := make([]*autodiff.Node, len(xs))
+	var h, c *autodiff.Node
+	if fused {
+		wx, wh, b := tp.Use(l.Wx), tp.Use(l.Wh), tp.Use(l.B)
+		for t, x := range xs {
+			h, c = l.stepFused(tp, x, h, c, wx, wh, b)
+			outs[t] = h
+		}
+	} else {
+		for t, x := range xs {
+			h, c = l.Step(tp, x, h, c)
+			outs[t] = h
+		}
+	}
+	return outs
+}
+
+// RunSeqReverse is RunSeq right-to-left, with hidden states returned in
+// the original (left-to-right) timestep order.
+func (l *LSTM) RunSeqReverse(tp *autodiff.Tape, xs []*autodiff.Node, fused bool) []*autodiff.Node {
+	outs := make([]*autodiff.Node, len(xs))
+	var h, c *autodiff.Node
+	if fused {
+		wx, wh, b := tp.Use(l.Wx), tp.Use(l.Wh), tp.Use(l.B)
+		for t := len(xs) - 1; t >= 0; t-- {
+			h, c = l.stepFused(tp, xs[t], h, c, wx, wh, b)
+			outs[t] = h
+		}
+	} else {
+		for t := len(xs) - 1; t >= 0; t-- {
+			h, c = l.Step(tp, xs[t], h, c)
+			outs[t] = h
+		}
+	}
+	return outs
+}
+
 // BiLSTM runs a forward and a backward LSTM over the sequence and
 // concatenates their hidden states per timestep (the paper's NER encoder,
 // after Akbik et al. 2018).
@@ -142,6 +200,25 @@ func NewBiLSTM(name string, in, hidden int, rng *rand.Rand) *BiLSTM {
 // Forward returns seq-by-2H hidden states.
 func (b *BiLSTM) Forward(tp *autodiff.Tape, seq *autodiff.Node) *autodiff.Node {
 	return tp.ConcatCols(b.Fwd.Run(tp, seq), b.Bwd.RunReverse(tp, seq))
+}
+
+// ForwardSeq runs both directions over per-timestep batches xs (each
+// B-by-In) and returns the hidden states stacked as (T*B)-by-2H, with row
+// t*B+b holding sentence b at timestep t. The fused flag selects the fast
+// fused step or the retained generic composition; results are bitwise
+// identical, and each sentence's rows equal what a per-sentence Forward
+// would produce.
+func (b *BiLSTM) ForwardSeq(tp *autodiff.Tape, xs []*autodiff.Node, fused bool) *autodiff.Node {
+	hf := b.Fwd.RunSeq(tp, xs, fused)
+	hb := b.Bwd.RunSeqReverse(tp, xs, fused)
+	if fused {
+		return tp.StackBiRows(hf, hb)
+	}
+	cat := make([]*autodiff.Node, len(xs))
+	for t := range xs {
+		cat[t] = tp.ConcatCols(hf[t], hb[t])
+	}
+	return tp.ConcatRows(cat...)
 }
 
 // Params implements Module.
@@ -206,5 +283,84 @@ func (c *Conv1D) Params() []*autodiff.Param {
 	out := make([]*autodiff.Param, 0, 2*len(c.W))
 	out = append(out, c.W...)
 	out = append(out, c.B...)
+	return out
+}
+
+// ForwardBatch maps a length-bucketed minibatch of batch sequences, each n
+// tokens long, to a batch-by-(len(Widths)*Out) feature matrix in lockstep:
+// one window-stack, one matrix product, and one segmented max-pool per
+// filter width for the whole batch. tok(b, t) returns the (frozen)
+// embedding of token t of sequence b; windows are constants, so no
+// gradient flows into them. With fused=true pooling uses the fused
+// MaxPoolSegRows op; fused=false replays the per-sequence
+// SliceRows+MaxPoolRows+ConcatRows composition (the retained reference
+// path). Both are bitwise identical to each other and to per-sequence
+// Forward calls over the same inputs.
+func (c *Conv1D) ForwardBatch(tp *autodiff.Tape, tok func(b, t int) []float64, batch, n int, fused bool) *autodiff.Node {
+	var pooled []*autodiff.Node
+	for wi, w := range c.Widths {
+		eff := w
+		if n < eff {
+			eff = n
+		}
+		perSeq := n - eff + 1
+		// Zero-filled buffer: when eff < w the tail of each flattened
+		// window stays zero, matching Forward's explicit padding.
+		win := tp.NewConstBuf(batch*perSeq, w*c.In)
+		for b := 0; b < batch; b++ {
+			for s := 0; s < perSeq; s++ {
+				dst := win.Value.Row(b*perSeq + s)
+				for k := 0; k < eff; k++ {
+					copy(dst[k*c.In:(k+1)*c.In], tok(b, s+k))
+				}
+			}
+		}
+		conv := tp.ReLU(tp.AddRowVec(tp.MatMul(win, tp.Use(c.W[wi])), tp.Use(c.B[wi])))
+		if fused {
+			pooled = append(pooled, tp.MaxPoolSegRows(conv, perSeq))
+		} else {
+			segs := make([]*autodiff.Node, batch)
+			for b := 0; b < batch; b++ {
+				segs[b] = tp.MaxPoolRows(tp.SliceRows(conv, b*perSeq, (b+1)*perSeq))
+			}
+			pooled = append(pooled, tp.ConcatRows(segs...))
+		}
+	}
+	return tp.ConcatCols(pooled...)
+}
+
+// LengthBatches is the deterministic schedule behind lockstep sequence
+// training: it groups sequence indices by exact length (ascending) —
+// preserving original order within a group — and slices each group into
+// minibatches of at most batch indices. Zero-length sequences are
+// dropped. The schedule is a pure function of (lengths, batch), so the
+// fast and reference trainers sharing it see identical batches.
+func LengthBatches(lengths []int, batch int) [][]int {
+	if batch <= 0 {
+		batch = 1
+	}
+	byLen := map[int][]int{}
+	var ls []int
+	for i, n := range lengths {
+		if n == 0 {
+			continue
+		}
+		if _, ok := byLen[n]; !ok {
+			ls = append(ls, n)
+		}
+		byLen[n] = append(byLen[n], i)
+	}
+	sort.Ints(ls)
+	var out [][]int
+	for _, n := range ls {
+		idx := byLen[n]
+		for s := 0; s < len(idx); s += batch {
+			e := s + batch
+			if e > len(idx) {
+				e = len(idx)
+			}
+			out = append(out, idx[s:e:e])
+		}
+	}
 	return out
 }

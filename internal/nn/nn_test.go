@@ -275,6 +275,141 @@ func TestLinearTrainsXORWithHidden(t *testing.T) {
 	}
 }
 
+func sameDense(t *testing.T, name string, a, b *matrix.Dense) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("%s: element %d: %v != %v", name, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestForwardSeqFusedBitwiseEqualsReference drives the lockstep BiLSTM
+// down both paths — fused ops on an arena tape vs the retained generic
+// composition on a classic tape — and requires bitwise-identical hidden
+// states and parameter gradients.
+func TestForwardSeqFusedBitwiseEqualsReference(t *testing.T) {
+	const in, hid, batch, steps = 5, 4, 3, 6
+	rng := rand.New(rand.NewSource(21))
+	bi := NewBiLSTM("bi", in, hid, rng)
+	xs := make([]*matrix.Dense, steps)
+	for i := range xs {
+		xs[i] = matrix.NewDenseRand(batch, in, 1, rng)
+	}
+
+	run := func(tp *autodiff.Tape, fused bool) (*matrix.Dense, []*matrix.Dense) {
+		nodes := make([]*autodiff.Node, steps)
+		for i, x := range xs {
+			nodes[i] = tp.Const(x)
+		}
+		h := bi.ForwardSeq(tp, nodes, fused)
+		tp.Backward(tp.SumAll(tp.Mul(h, h)))
+		grads := make([]*matrix.Dense, 0, len(bi.Params()))
+		for _, p := range bi.Params() {
+			grads = append(grads, p.Grad.Clone())
+			p.ZeroGrad()
+		}
+		return h.Value.Clone(), grads
+	}
+
+	atp := autodiff.NewArenaTape()
+	vFast, gFast := run(atp, true)
+	vRef, gRef := run(autodiff.NewTape(), false)
+	sameDense(t, "hidden states", vFast, vRef)
+	for i, p := range bi.Params() {
+		sameDense(t, "grad "+p.Name, gFast[i], gRef[i])
+	}
+
+	// Each sentence's rows must also equal a per-sentence Forward pass.
+	tp := autodiff.NewTape()
+	for b := 0; b < batch; b++ {
+		seq := matrix.NewDense(steps, in)
+		for s := 0; s < steps; s++ {
+			copy(seq.Row(s), xs[s].Row(b))
+		}
+		single := bi.Forward(tp, tp.Const(seq)).Value
+		for s := 0; s < steps; s++ {
+			for j := 0; j < 2*hid; j++ {
+				if single.At(s, j) != vFast.At(s*batch+b, j) {
+					t.Fatalf("sentence %d timestep %d col %d: batched %v != single %v",
+						b, s, j, vFast.At(s*batch+b, j), single.At(s, j))
+				}
+			}
+		}
+	}
+}
+
+// TestConvForwardBatchFusedBitwiseEqualsReference checks the batched CNN
+// feature extractor down both pooling paths, including the short-sequence
+// zero-padding case.
+func TestConvForwardBatchFusedBitwiseEqualsReference(t *testing.T) {
+	for _, n := range []int{6, 2} { // 2 < max width exercises padding
+		rng := rand.New(rand.NewSource(22))
+		conv := NewConv1D("conv", []int{2, 3}, 3, 4, rng)
+		const batch = 3
+		toks := matrix.NewDenseRand(batch*n, 3, 1, rng)
+		tok := func(b, t int) []float64 { return toks.Row(b*n + t) }
+
+		run := func(tp *autodiff.Tape, fused bool) (*matrix.Dense, []*matrix.Dense) {
+			f := conv.ForwardBatch(tp, tok, batch, n, fused)
+			tp.Backward(tp.SumAll(tp.Mul(f, f)))
+			grads := make([]*matrix.Dense, 0, len(conv.Params()))
+			for _, p := range conv.Params() {
+				grads = append(grads, p.Grad.Clone())
+				p.ZeroGrad()
+			}
+			return f.Value.Clone(), grads
+		}
+		vFast, gFast := run(autodiff.NewArenaTape(), true)
+		vRef, gRef := run(autodiff.NewTape(), false)
+		sameDense(t, "features", vFast, vRef)
+		for i, p := range conv.Params() {
+			sameDense(t, "grad "+p.Name, gFast[i], gRef[i])
+		}
+	}
+}
+
+func TestLengthBatches(t *testing.T) {
+	lengths := []int{3, 5, 3, 0, 5, 3, 5, 5, 3, 3}
+	batches := LengthBatches(lengths, 2)
+	want := [][]int{{0, 2}, {5, 8}, {9}, {1, 4}, {6, 7}}
+	if len(batches) != len(want) {
+		t.Fatalf("got %d batches, want %d: %v", len(batches), len(want), batches)
+	}
+	for i, b := range batches {
+		if len(b) != len(want[i]) {
+			t.Fatalf("batch %d = %v, want %v", i, b, want[i])
+		}
+		for j := range b {
+			if b[j] != want[i][j] {
+				t.Fatalf("batch %d = %v, want %v", i, b, want[i])
+			}
+		}
+		n := lengths[b[0]]
+		for _, idx := range b {
+			if lengths[idx] != n {
+				t.Fatalf("batch %d mixes lengths", i)
+			}
+		}
+	}
+}
+
+func TestCRFNLLValueMatchesTape(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	crf := NewCRF("crf", 3, rng)
+	emissions := matrix.NewDenseRand(5, 3, 1, rng)
+	tags := []int{0, 2, 1, 1, 0}
+	tp := autodiff.NewTape()
+	want := crf.NegLogLikelihood(tp, tp.Const(emissions), tags).Value.At(0, 0)
+	got := crf.NLLValue(emissions, tags)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NLLValue %v != tape NLL %v", got, want)
+	}
+}
+
 func TestXavierInitBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	m := matrix.NewDense(10, 10)

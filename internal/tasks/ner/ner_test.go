@@ -135,6 +135,56 @@ func TestNERInstabilityPipeline(t *testing.T) {
 	t.Logf("NER downstream instability: %.2f%%", di)
 }
 
+// TestTrainBitwiseMatchesReference is the tentpole determinism contract:
+// the fast trainer (arena tape, fused ops) must produce bitwise-identical
+// weights, predictions, and quality to the retained slow reference over
+// the same lockstep batch schedule — for the plain BiLSTM and the CRF
+// variant.
+func TestTrainBitwiseMatchesReference(t *testing.T) {
+	_, c, ds := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 16, 1)
+	for _, useCRF := range []bool{false, true} {
+		cfg := DefaultConfig(3)
+		cfg.Epochs = 3
+		cfg.UseCRF = useCRF
+		fast := Train(emb, ds, cfg)
+		ref := TrainReference(emb, ds, cfg)
+		for pi, pp := range fast.bi.Params() {
+			rp := ref.bi.Params()[pi]
+			for i, v := range pp.Value.Data {
+				if rp.Value.Data[i] != v {
+					t.Fatalf("crf=%v: param %s[%d]: fast %v != reference %v", useCRF, pp.Name, i, v, rp.Value.Data[i])
+				}
+			}
+		}
+		if core.PredictionDisagreement(fast.EntityPredictions(ds.Test), ref.EntityPredictions(ds.Test)) != 0 {
+			t.Fatalf("crf=%v: fast and reference trainers disagree on predictions", useCRF)
+		}
+		if fast.EntityTokenF1(ds.Test) != ref.EntityTokenF1(ds.Test) {
+			t.Fatalf("crf=%v: fast and reference F1 differ", useCRF)
+		}
+	}
+}
+
+// TestPredictBatchingInvariant checks that lockstep batched prediction is
+// bitwise identical to per-sentence Predict calls.
+func TestPredictBatchingInvariant(t *testing.T) {
+	_, c, ds := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 8, 1)
+	cfg := DefaultConfig(1)
+	cfg.Epochs = 2
+	m := Train(emb, ds, cfg)
+	batched := m.predictAll(ds.Test)
+	for i, ex := range ds.Test {
+		single := m.Predict(ex.Tokens)
+		for j := range single {
+			if batched[i][j] != single[j] {
+				t.Fatalf("example %d token %d: batched %d != single %d", i, j, batched[i][j], single[j])
+			}
+		}
+	}
+}
+
 func TestPredictEmptySentence(t *testing.T) {
 	_, c, ds := testSetup(t)
 	emb := embtrain.NewMC().Train(c, 8, 1)

@@ -15,8 +15,10 @@ package sentiment
 
 import (
 	"math/rand"
+	"sync"
 
 	"anchor/internal/corpus"
+	"anchor/internal/matrix"
 )
 
 // Example is one labeled sentence.
@@ -30,6 +32,11 @@ type Dataset struct {
 	Name             string
 	Train, Val, Test []Example
 	PosLex, NegLex   []int32
+
+	// Cached per-split bag-of-words count matrices (see counts.go),
+	// indexed train/val/test. Built lazily, safe for concurrent use.
+	countsOnce [3]sync.Once
+	counts     [3]*matrix.Dense
 }
 
 // Params controls dataset generation.

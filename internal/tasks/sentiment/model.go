@@ -5,7 +5,6 @@ import (
 
 	"anchor/internal/autodiff"
 	"anchor/internal/embedding"
-	"anchor/internal/floats"
 	"anchor/internal/matrix"
 	"anchor/internal/nn"
 )
@@ -38,25 +37,24 @@ type LinearBOW struct {
 	lin *nn.Linear
 }
 
-// features returns the averaged embedding for each example.
-func features(emb *embedding.Embedding, examples []Example) *matrix.Dense {
-	out := matrix.NewDense(len(examples), emb.Dim())
-	for i, ex := range examples {
-		row := out.Row(i)
-		for _, tok := range ex.Tokens {
-			floats.Add(row, emb.Vector(int(tok)))
-		}
-		if len(ex.Tokens) > 0 {
-			floats.Scale(1/float64(len(ex.Tokens)), row)
-		}
-	}
-	return out
+// TrainLinearBOW trains the model on ds.Train with fixed embeddings using
+// the fast path: features come from the dataset's cached count matrix as
+// one blocked product (counts.go), and the training loop records each
+// minibatch on a single arena-backed tape that is reset between steps.
+// Weights are bitwise identical to TrainLinearBOWReference for every
+// worker count.
+func TrainLinearBOW(emb *embedding.Embedding, ds *Dataset, cfg LinearBOWConfig) *LinearBOW {
+	return trainLinearBOW(emb, ds, cfg, true)
 }
 
-// TrainLinearBOW trains the model on ds.Train with fixed embeddings.
-// Because the embeddings are frozen, sentence features are precomputed
-// once, making the grid experiments cheap.
-func TrainLinearBOW(emb *embedding.Embedding, ds *Dataset, cfg LinearBOWConfig) *LinearBOW {
+// TrainLinearBOWReference trains the same model on the retained slow path
+// — per-example feature loops and a fresh heap-allocating tape per
+// minibatch — kept for equality tests and benchmarks.
+func TrainLinearBOWReference(emb *embedding.Embedding, ds *Dataset, cfg LinearBOWConfig) *LinearBOW {
+	return trainLinearBOW(emb, ds, cfg, false)
+}
+
+func trainLinearBOW(emb *embedding.Embedding, ds *Dataset, cfg LinearBOWConfig, fast bool) *LinearBOW {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sampleRng := rng
 	if cfg.SampleSeed != 0 {
@@ -65,7 +63,12 @@ func TrainLinearBOW(emb *embedding.Embedding, ds *Dataset, cfg LinearBOWConfig) 
 	lin := nn.NewLinear("bow", emb.Dim(), 2, rng)
 	opt := nn.NewAdam(cfg.LR)
 
-	x := features(emb, ds.Train)
+	var x *matrix.Dense
+	if fast {
+		x = Features(emb, ds.TrainCounts(), ds.Train, 1)
+	} else {
+		x = featuresReference(emb, ds.Train)
+	}
 	labels := make([]int, len(ds.Train))
 	for i, ex := range ds.Train {
 		labels[i] = ex.Label
@@ -75,18 +78,34 @@ func TrainLinearBOW(emb *embedding.Embedding, ds *Dataset, cfg LinearBOWConfig) 
 	for i := range idx {
 		idx[i] = i
 	}
+	var tp *autodiff.Tape
+	var byBuf []int
+	if fast {
+		tp = autodiff.NewArenaTape()
+		tp.Workers = 1
+		byBuf = make([]int, cfg.Batch)
+	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		sampleRng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
 		for s := 0; s < len(idx); s += cfg.Batch {
 			e := min(s+cfg.Batch, len(idx))
-			bx := matrix.NewDense(e-s, emb.Dim())
-			by := make([]int, e-s)
+			var bx *autodiff.Node
+			var by []int
+			if fast {
+				tp.Reset()
+				bx = tp.NewConstBuf(e-s, emb.Dim())
+				by = byBuf[:e-s]
+			} else {
+				tp = autodiff.NewTape()
+				tp.Workers = 1
+				bx = tp.Const(matrix.NewDense(e-s, emb.Dim()))
+				by = make([]int, e-s)
+			}
 			for i := s; i < e; i++ {
-				copy(bx.Row(i-s), x.Row(idx[i]))
+				copy(bx.Value.Row(i-s), x.Row(idx[i]))
 				by[i-s] = labels[idx[i]]
 			}
-			tp := autodiff.NewTape()
-			loss := tp.CrossEntropy(lin.Forward(tp, tp.Const(bx)), by)
+			loss := tp.CrossEntropy(lin.Forward(tp, bx), by)
 			tp.Backward(loss)
 			opt.Step(lin.Params())
 		}
@@ -94,12 +113,13 @@ func TrainLinearBOW(emb *embedding.Embedding, ds *Dataset, cfg LinearBOWConfig) 
 	return &LinearBOW{emb: emb, lin: lin}
 }
 
-// Predict returns the predicted labels for the examples.
-func (m *LinearBOW) Predict(examples []Example) []int {
-	x := features(m.emb, examples)
+// PredictFeatures returns the predicted labels for precomputed features
+// (one row per example, from Features). Grid cells use it to score the
+// test split with a single blocked product per embedding.
+func (m *LinearBOW) PredictFeatures(x *matrix.Dense) []int {
 	tp := autodiff.NewTape()
 	logits := m.lin.Forward(tp, tp.Const(x)).Value
-	out := make([]int, len(examples))
+	out := make([]int, x.Rows)
 	for i := range out {
 		if logits.At(i, 1) > logits.At(i, 0) {
 			out[i] = 1
@@ -108,9 +128,14 @@ func (m *LinearBOW) Predict(examples []Example) []int {
 	return out
 }
 
-// Accuracy returns classification accuracy on the examples.
-func (m *LinearBOW) Accuracy(examples []Example) float64 {
-	preds := m.Predict(examples)
+// Predict returns the predicted labels for the examples.
+func (m *LinearBOW) Predict(examples []Example) []int {
+	return m.PredictFeatures(featuresReference(m.emb, examples))
+}
+
+// AccuracyOf returns the fraction of predictions matching the example
+// labels.
+func AccuracyOf(preds []int, examples []Example) float64 {
 	correct := 0
 	for i, ex := range examples {
 		if preds[i] == ex.Label {
@@ -118,6 +143,11 @@ func (m *LinearBOW) Accuracy(examples []Example) float64 {
 		}
 	}
 	return float64(correct) / float64(len(examples))
+}
+
+// Accuracy returns classification accuracy on the examples.
+func (m *LinearBOW) Accuracy(examples []Example) float64 {
+	return AccuracyOf(m.Predict(examples), examples)
 }
 
 // TrainLinearBOWFineTuned trains the same model but lets gradients update
@@ -135,11 +165,13 @@ func TrainLinearBOWFineTuned(emb *embedding.Embedding, ds *Dataset, cfg LinearBO
 	for i := range idx {
 		idx[i] = i
 	}
+	tp := autodiff.NewArenaTape()
+	tp.Workers = 1
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
 		for s := 0; s < len(idx); s += cfg.Batch {
 			e := min(s+cfg.Batch, len(idx))
-			tp := autodiff.NewTape()
+			tp.Reset()
 			embNode := tp.Use(embParam)
 			rows := make([]*autodiff.Node, e-s)
 			by := make([]int, e-s)
@@ -189,8 +221,23 @@ type CNN struct {
 	out  *nn.Linear
 }
 
-// TrainCNN trains the CNN sentiment model with fixed embeddings.
+// TrainCNN trains the CNN sentiment model with fixed embeddings using the
+// fast path: length-bucketed minibatches stepped in lockstep (one window
+// stack, matrix product, and segmented max-pool per filter width per
+// batch) on an arena-backed tape with fused pooling. Weights are bitwise
+// identical to TrainCNNReference for every worker count.
 func TrainCNN(emb *embedding.Embedding, ds *Dataset, cfg CNNConfig) *CNN {
+	return trainCNN(emb, ds, cfg, true)
+}
+
+// TrainCNNReference trains the same model over the same batch schedule on
+// the retained slow path (heap tape per minibatch, unfused per-sequence
+// pooling), kept for equality tests and benchmarks.
+func TrainCNNReference(emb *embedding.Embedding, ds *Dataset, cfg CNNConfig) *CNN {
+	return trainCNN(emb, ds, cfg, false)
+}
+
+func trainCNN(emb *embedding.Embedding, ds *Dataset, cfg CNNConfig, fast bool) *CNN {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	conv := nn.NewConv1D("conv", cfg.Widths, emb.Dim(), cfg.Filters, rng)
 	out := nn.NewLinear("out", len(cfg.Widths)*cfg.Filters, 2, rng)
@@ -198,25 +245,41 @@ func TrainCNN(emb *embedding.Embedding, ds *Dataset, cfg CNNConfig) *CNN {
 	opt := nn.NewAdam(cfg.LR)
 	dropRng := rand.New(rand.NewSource(cfg.Seed + 1))
 
-	idx := make([]int, len(ds.Train))
-	for i := range idx {
-		idx[i] = i
+	lengths := make([]int, len(ds.Train))
+	for i, ex := range ds.Train {
+		lengths[i] = len(ex.Tokens)
+	}
+	batches := nn.LengthBatches(lengths, cfg.Batch)
+	order := make([]int, len(batches))
+	for i := range order {
+		order[i] = i
+	}
+	var tp *autodiff.Tape
+	if fast {
+		tp = autodiff.NewArenaTape()
+		tp.Workers = 1
 	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
-		for s := 0; s < len(idx); s += cfg.Batch {
-			e := min(s+cfg.Batch, len(idx))
-			tp := autodiff.NewTape()
-			feats := make([]*autodiff.Node, e-s)
-			by := make([]int, e-s)
-			for i := s; i < e; i++ {
-				ex := ds.Train[idx[i]]
-				seq := tp.Const(tokenMatrix(emb, ex.Tokens))
-				f := conv.Forward(tp, seq)
-				feats[i-s] = tp.Dropout(f, cfg.Dropout, dropRng)
-				by[i-s] = ex.Label
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, bi := range order {
+			batch := batches[bi]
+			if fast {
+				tp.Reset()
+			} else {
+				tp = autodiff.NewTape()
+				tp.Workers = 1
 			}
-			loss := tp.CrossEntropy(out.Forward(tp, tp.ConcatRows(feats...)), by)
+			n := len(ds.Train[batch[0]].Tokens)
+			tok := func(b, t int) []float64 {
+				return emb.Vector(int(ds.Train[batch[b]].Tokens[t]))
+			}
+			feats := conv.ForwardBatch(tp, tok, len(batch), n, fast)
+			by := make([]int, len(batch))
+			for bi2, i := range batch {
+				by[bi2] = ds.Train[i].Label
+			}
+			dropped := tp.Dropout(feats, cfg.Dropout, dropRng)
+			loss := tp.CrossEntropy(out.Forward(tp, dropped), by)
 			tp.Backward(loss)
 			opt.Step(params)
 		}
@@ -224,23 +287,29 @@ func TrainCNN(emb *embedding.Embedding, ds *Dataset, cfg CNNConfig) *CNN {
 	return &CNN{emb: emb, conv: conv, out: out}
 }
 
-func tokenMatrix(emb *embedding.Embedding, tokens []int32) *matrix.Dense {
-	m := matrix.NewDense(len(tokens), emb.Dim())
-	for i, tk := range tokens {
-		copy(m.Row(i), emb.Vector(int(tk)))
-	}
-	return m
-}
-
-// Predict returns predicted labels for the examples.
+// Predict returns predicted labels for the examples, evaluated in
+// length-bucketed lockstep batches (bitwise identical to per-example
+// forward passes).
 func (m *CNN) Predict(examples []Example) []int {
-	out := make([]int, len(examples))
+	lengths := make([]int, len(examples))
 	for i, ex := range examples {
-		tp := autodiff.NewTape()
-		f := m.conv.Forward(tp, tp.Const(tokenMatrix(m.emb, ex.Tokens)))
-		logits := m.out.Forward(tp, f).Value
-		if logits.At(0, 1) > logits.At(0, 0) {
-			out[i] = 1
+		lengths[i] = len(ex.Tokens)
+	}
+	out := make([]int, len(examples))
+	tp := autodiff.NewArenaTape()
+	tp.Workers = 1
+	for _, batch := range nn.LengthBatches(lengths, 64) {
+		tp.Reset()
+		n := len(examples[batch[0]].Tokens)
+		tok := func(b, t int) []float64 {
+			return m.emb.Vector(int(examples[batch[b]].Tokens[t]))
+		}
+		feats := m.conv.ForwardBatch(tp, tok, len(batch), n, true)
+		logits := m.out.Forward(tp, feats).Value
+		for bi, i := range batch {
+			if logits.At(bi, 1) > logits.At(bi, 0) {
+				out[i] = 1
+			}
 		}
 	}
 	return out
@@ -248,12 +317,5 @@ func (m *CNN) Predict(examples []Example) []int {
 
 // Accuracy returns classification accuracy on the examples.
 func (m *CNN) Accuracy(examples []Example) float64 {
-	preds := m.Predict(examples)
-	correct := 0
-	for i, ex := range examples {
-		if preds[i] == ex.Label {
-			correct++
-		}
-	}
-	return float64(correct) / float64(len(examples))
+	return AccuracyOf(m.Predict(examples), examples)
 }

@@ -146,6 +146,73 @@ func TestFineTunedTrainsAndImproves(t *testing.T) {
 	}
 }
 
+func TestFeaturesBitwiseEqualsReference(t *testing.T) {
+	cfg, c := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 16, 1)
+	ds := Generate(c, cfg, SST2Params())
+	ref := featuresReference(emb, ds.Train)
+	for _, workers := range []int{1, 4} {
+		fast := Features(emb, ds.TrainCounts(), ds.Train, workers)
+		if fast.Rows != ref.Rows || fast.Cols != ref.Cols {
+			t.Fatal("feature shape mismatch")
+		}
+		for i := range ref.Data {
+			if fast.Data[i] != ref.Data[i] {
+				t.Fatalf("workers=%d: feature element %d: %v != %v", workers, i, fast.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+func TestLinearBOWBitwiseMatchesReference(t *testing.T) {
+	cfg, c := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 16, 1)
+	ds := Generate(c, cfg, MPQAParams())
+	mcfg := DefaultLinearBOWConfig(7)
+	fast := TrainLinearBOW(emb, ds, mcfg)
+	ref := TrainLinearBOWReference(emb, ds, mcfg)
+	for i, v := range fast.lin.W.Value.Data {
+		if ref.lin.W.Value.Data[i] != v {
+			t.Fatalf("weight %d: fast %v != reference %v", i, v, ref.lin.W.Value.Data[i])
+		}
+	}
+	for i, v := range fast.lin.B.Value.Data {
+		if ref.lin.B.Value.Data[i] != v {
+			t.Fatalf("bias %d: fast %v != reference %v", i, v, ref.lin.B.Value.Data[i])
+		}
+	}
+	pf, pr := fast.Predict(ds.Test), ref.Predict(ds.Test)
+	if core.PredictionDisagreement(pf, pr) != 0 {
+		t.Fatal("fast and reference trainers disagree on predictions")
+	}
+	if fast.Accuracy(ds.Test) != ref.Accuracy(ds.Test) {
+		t.Fatal("fast and reference accuracy differ")
+	}
+}
+
+func TestCNNBitwiseMatchesReference(t *testing.T) {
+	cfg, c := testSetup(t)
+	emb := embtrain.NewMC().Train(c, 16, 1)
+	p := MPQAParams()
+	p.TrainN, p.TestN = 120, 80
+	ds := Generate(c, cfg, p)
+	ccfg := DefaultCNNConfig(3)
+	ccfg.Epochs = 3
+	fast := TrainCNN(emb, ds, ccfg)
+	ref := TrainCNNReference(emb, ds, ccfg)
+	for pi, pp := range fast.conv.Params() {
+		rp := ref.conv.Params()[pi]
+		for i, v := range pp.Value.Data {
+			if rp.Value.Data[i] != v {
+				t.Fatalf("conv param %s[%d]: fast %v != reference %v", pp.Name, i, v, rp.Value.Data[i])
+			}
+		}
+	}
+	if core.PredictionDisagreement(fast.Predict(ds.Test), ref.Predict(ds.Test)) != 0 {
+		t.Fatal("fast and reference CNN trainers disagree on predictions")
+	}
+}
+
 func TestCNNLearns(t *testing.T) {
 	cfg, c := testSetup(t)
 	emb := embtrain.NewMC().Train(c, 16, 1)
