@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt bench bench-artifacts
+.PHONY: build test vet fmt race serve-smoke bench bench-artifacts
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,24 @@ vet:
 
 fmt:
 	gofmt -l .
+
+# Race-detector pass over the traffic-serving layer: the HTTP API and the
+# artifact store handle concurrent requests over shared state.
+race:
+	$(GO) test -race ./internal/serve/... ./internal/store/...
+
+# Boot the HTTP server against the small config and hit /v1/healthz.
+serve-smoke:
+	$(GO) build -o /tmp/anchor-serve-smoke ./cmd/anchor
+	@/tmp/anchor-serve-smoke serve -addr 127.0.0.1:18517 -config small & \
+	pid=$$!; \
+	ok=1; \
+	for i in $$(seq 1 20); do \
+		sleep 0.25; \
+		if curl -fsS http://127.0.0.1:18517/v1/healthz; then ok=0; echo; break; fi; \
+	done; \
+	kill $$pid 2>/dev/null; \
+	exit $$ok
 
 # Kernel and measure micro-benchmarks (the set CI archives per PR),
 # including the retained pre-PR k-NN loop for speedup comparison, plus the

@@ -26,14 +26,42 @@
 //
 // # Quickstart
 //
-//	c17 := anchor.GenerateCorpus(anchor.DefaultCorpusConfig(), anchor.Wiki17)
-//	c18 := anchor.GenerateCorpus(anchor.DefaultCorpusConfig(), anchor.Wiki18)
-//	e17, _ := anchor.TrainEmbedding("cbow", c17, 64, 1)
-//	e18, _ := anchor.TrainEmbedding("cbow", c18, 64, 1)
-//	e18.AlignTo(e17)
-//	q17, q18 := anchor.QuantizePair(e17, e18, 4)
-//	eis := anchor.NewEigenspaceInstability(e17, e18)
-//	fmt.Println(eis.Distance(q17, q18))
+// The primary entry point is the Service: a long-lived, concurrency-safe
+// handle whose methods take a context, resolve algorithms, measures, and
+// downstream tasks through pluggable registries, and cache every trained
+// embedding in a persistent artifact store.
+//
+//	svc, err := anchor.NewService(
+//		anchor.WithConfig(anchor.SmallExperimentConfig()),
+//		anchor.WithCacheDir(".anchor-cache"), // embeddings survive restarts
+//	)
+//	if err != nil { ... }
+//	ctx := context.Background()
+//
+//	// Cheap prediction: every distance measure at one grid cell.
+//	rep, err := svc.MeasureCell(ctx, "cbow", 64, 4, 1)
+//	fmt.Println(rep.Values["eigenspace-instability"])
+//
+//	// Ground truth: train the downstream model pair and diff predictions.
+//	st, err := svc.Stability(ctx, "cbow", "sst2", 64, 4, 1)
+//	fmt.Println(st.Disagreement, st.Accuracy)
+//
+//	// The paper's payoff: pick dimension x precision under a memory
+//	// budget without training downstream models.
+//	sel, err := svc.Select(ctx, anchor.SelectRequest{
+//		Algo: "cbow", Dims: []int{32, 64}, Precisions: []int{1, 4, 32},
+//		BudgetBits: 256,
+//	})
+//	fmt.Println(sel.Best)
+//
+// The same API serves over HTTP: `anchor serve -addr :8080` exposes
+// /v1/train, /v1/measures, /v1/stability, /v1/select, and /v1/healthz
+// (see internal/serve). New trainers, measures, and tasks plug in by name
+// via embtrain.Register, core.RegisterMeasure, and tasks.Register.
+//
+// The flat helper functions below (TrainEmbedding, AllMeasures, ...) are
+// the original facade; they remain for small scripts and to pin the
+// golden tests, but new code should prefer the Service.
 package anchor
 
 import (
@@ -89,8 +117,9 @@ func GenerateCorpus(cfg CorpusConfig, year corpus.Year) *Corpus {
 	return corpus.Generate(cfg, year)
 }
 
-// Algorithms lists the available embedding algorithm names.
-func Algorithms() []string { return []string{"cbow", "glove", "mc", "fasttext"} }
+// Algorithms lists the registered embedding algorithm names (see
+// embtrain.Register for plugging in new ones).
+func Algorithms() []string { return embtrain.Names() }
 
 // TrainEmbedding trains an embedding with the named algorithm's default
 // configuration on all CPUs. The result is deterministic in (corpus, dim,
@@ -98,6 +127,9 @@ func Algorithms() []string { return []string{"cbow", "glove", "mc", "fasttext"} 
 // deltas merge in a fixed order, so the embedding is bitwise identical no
 // matter how many cores execute it (see TrainEmbeddingWorkers to bound
 // the core count).
+//
+// Deprecated: prefer Service.Train, which caches results in the
+// artifact store and supports cancellation.
 func TrainEmbedding(algo string, c *Corpus, dim int, seed int64) (*Embedding, error) {
 	return TrainEmbeddingWorkers(algo, c, dim, seed, 0)
 }
@@ -105,6 +137,8 @@ func TrainEmbedding(algo string, c *Corpus, dim int, seed int64) (*Embedding, er
 // TrainEmbeddingWorkers is TrainEmbedding with an explicit goroutine
 // budget (workers <= 0 selects all CPUs). Worker count is a pure
 // throughput knob: it never changes the trained embedding.
+//
+// Deprecated: prefer Service.Train with WithWorkers.
 func TrainEmbeddingWorkers(algo string, c *Corpus, dim int, seed int64, workers int) (*Embedding, error) {
 	tr, ok := embtrain.ByNameWorkers(algo, workers)
 	if !ok {
@@ -119,6 +153,16 @@ func TrainEmbeddingWorkers(algo string, c *Corpus, dim int, seed int64, workers 
 // prescribes. bits = 32 means full precision.
 func QuantizePair(x, xTilde *Embedding, bits int) (*Embedding, *Embedding) {
 	return compress.QuantizePair(x, xTilde, bits)
+}
+
+// AlignQuantize performs the paper's full Section 3 preparation ritual in
+// one call: it rotates b onto a with orthogonal Procrustes (in place),
+// tags b's provenance as the aligned variant, and quantizes the pair to
+// the given precision with a shared clip. It replaces the align ->
+// meta-tag -> quantize sequence previously inlined at every call site.
+func AlignQuantize(a, b *Embedding, bits int) (*Embedding, *Embedding) {
+	embedding.AlignTagged(a, b)
+	return compress.QuantizePair(a, b, bits)
 }
 
 // LoadEmbedding reads an embedding saved with Embedding.SaveFile.
@@ -190,12 +234,17 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // "table3", ...) and renders its tables to w. The runner caches trained
 // embeddings, so reuse it across experiments via RunAllExperiments when
 // reproducing several artifacts.
+//
+// Deprecated: prefer Service.Experiment, which shares one runner
+// (and one artifact store) across calls.
 func RunExperiment(cfg ExperimentConfig, id string, w io.Writer) error {
 	return renderExperiment(experiments.NewRunner(cfg), id, w)
 }
 
 // RunAllExperiments executes the given artifact ids (or all registered
 // ones if empty) against one shared runner and renders results to w.
+//
+// Deprecated: prefer Service.Experiments.
 func RunAllExperiments(cfg ExperimentConfig, ids []string, w io.Writer) error {
 	if len(ids) == 0 {
 		ids = experiments.IDs()

@@ -1,26 +1,36 @@
 // Command anchor is the CLI for the anchor library: train embedding
-// snapshot pairs, compress them, compute embedding distance measures, and
-// measure end-to-end downstream instability.
+// snapshot pairs, compress them, compute embedding distance measures,
+// measure end-to-end downstream instability, and serve it all over HTTP.
+// Every subcommand runs on the context-aware Service API, so trained
+// embeddings are cached in the artifact store (pass -cache-dir to make
+// the cache survive across invocations and share it with `anchor serve`).
 //
 // Usage:
 //
-//	anchor train    -algo cbow -dim 64 -seed 1 -year 2017 -out emb17.gob
-//	anchor measure  -a emb17.gob -b emb18.gob -bits 4 -top 300
+//	anchor train     -algo cbow -dim 64 -seed 1 -year 2017 -out emb17.gob
+//	anchor measure   -a emb17.gob -b emb18.gob -bits 4 -top 300
 //	anchor stability -algo mc -dim 32 -bits 4 -seed 1 -task sst2
+//	anchor select    -algo mc -dims 8,16,32 -bits 1,4,32 -budget 128
 //	anchor experiment -id fig1 -config small
+//	anchor serve     -addr :8080 -config bench -cache-dir .anchor-cache
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"anchor"
-	"anchor/internal/core"
-	"anchor/internal/corpus"
-	"anchor/internal/tasks/ner"
-	"anchor/internal/tasks/sentiment"
+	"anchor/internal/serve"
 )
 
 func main() {
@@ -28,16 +38,22 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "train":
-		err = cmdTrain(os.Args[2:])
+		err = cmdTrain(ctx, os.Args[2:])
 	case "measure":
-		err = cmdMeasure(os.Args[2:])
+		err = cmdMeasure(ctx, os.Args[2:])
 	case "stability":
-		err = cmdStability(os.Args[2:])
+		err = cmdStability(ctx, os.Args[2:])
+	case "select":
+		err = cmdSelect(ctx, os.Args[2:])
 	case "experiment":
-		err = cmdExperiment(os.Args[2:])
+		err = cmdExperiment(ctx, os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -58,36 +74,74 @@ commands:
   train       train one embedding snapshot and save it
   measure     compute all embedding distance measures between two embeddings
   stability   end-to-end downstream instability for one configuration
-  experiment  reproduce a paper table/figure by id (see cmd/experiments for the full runner)`)
+  select      rank a dim x precision grid by a measure under a memory budget
+  experiment  reproduce a paper table/figure by id (see cmd/experiments for the full runner)
+  serve       serve the API over HTTP (/v1/train, /v1/measures, /v1/stability, /v1/select)`)
 }
 
-func corpusFor(year int) (*corpus.Corpus, corpus.Config, error) {
-	cfg := anchor.DefaultCorpusConfig()
-	switch year {
-	case 2017:
-		return anchor.GenerateCorpus(cfg, anchor.Wiki17), cfg, nil
-	case 2018:
-		return anchor.GenerateCorpus(cfg, anchor.Wiki18), cfg, nil
+// serviceFlags are the flags shared by every Service-backed subcommand.
+type serviceFlags struct {
+	config   *string
+	workers  *int
+	cacheDir *string
+	verbose  *bool
+}
+
+func addServiceFlags(fs *flag.FlagSet, defaultConfig string) serviceFlags {
+	return serviceFlags{
+		config:   fs.String("config", defaultConfig, "config scale: small, bench, repro"),
+		workers:  fs.Int("workers", 0, "goroutine budget (0 = all CPUs; results are identical for any value)"),
+		cacheDir: fs.String("cache-dir", "", "persist trained embeddings to this directory (reused across runs)"),
+		verbose:  fs.Bool("v", false, "log progress stages"),
 	}
-	return nil, cfg, fmt.Errorf("year must be 2017 or 2018")
 }
 
-func cmdTrain(args []string) error {
+func (f serviceFlags) newService(extra ...anchor.ServiceOption) (*anchor.Service, error) {
+	cfg, err := configByName(*f.config)
+	if err != nil {
+		return nil, err
+	}
+	opts := []anchor.ServiceOption{
+		anchor.WithConfig(cfg),
+		anchor.WithWorkers(*f.workers),
+		anchor.WithCacheDir(*f.cacheDir),
+	}
+	if *f.verbose {
+		opts = append(opts, anchor.WithProgress(func(stage string) {
+			fmt.Fprintln(os.Stderr, "anchor:", stage)
+		}))
+	}
+	return anchor.NewService(append(opts, extra...)...)
+}
+
+func configByName(name string) (anchor.ExperimentConfig, error) {
+	switch name {
+	case "small":
+		return anchor.SmallExperimentConfig(), nil
+	case "bench":
+		return anchor.BenchExperimentConfig(), nil
+	case "repro":
+		return anchor.ReproExperimentConfig(), nil
+	}
+	return anchor.ExperimentConfig{}, fmt.Errorf("unknown config %q (small, bench, repro)", name)
+}
+
+func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	algo := fs.String("algo", "cbow", "embedding algorithm: "+strings.Join(anchor.Algorithms(), ", "))
 	dim := fs.Int("dim", 64, "embedding dimension")
 	seed := fs.Int64("seed", 1, "training seed")
 	year := fs.Int("year", 2017, "corpus snapshot year (2017 or 2018)")
 	out := fs.String("out", "emb.gob", "output path")
-	workers := fs.Int("workers", 0, "training goroutines (0 = all CPUs; result is identical for any value)")
+	sf := addServiceFlags(fs, "repro")
 	fs.Parse(args)
 
-	c, _, err := corpusFor(*year)
+	svc, err := sf.newService()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training %s dim=%d seed=%d on %d tokens...\n", *algo, *dim, *seed, c.Tokens)
-	e, err := anchor.TrainEmbeddingWorkers(*algo, c, *dim, *seed, *workers)
+	fmt.Printf("training %s dim=%d seed=%d (wiki'%d)...\n", *algo, *dim, *seed, *year%100)
+	e, err := svc.Train(ctx, *algo, *year, *dim, *seed)
 	if err != nil {
 		return err
 	}
@@ -98,7 +152,7 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-func cmdMeasure(args []string) error {
+func cmdMeasure(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("measure", flag.ExitOnError)
 	aPath := fs.String("a", "", "first embedding (gob)")
 	bPath := fs.String("b", "", "second embedding (gob)")
@@ -109,6 +163,9 @@ func cmdMeasure(args []string) error {
 	if *aPath == "" || *bPath == "" {
 		return fmt.Errorf("measure requires -a and -b")
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	a, err := anchor.LoadEmbedding(*aPath)
 	if err != nil {
 		return err
@@ -117,14 +174,12 @@ func cmdMeasure(args []string) error {
 	if err != nil {
 		return err
 	}
-	b.AlignTo(a)
-	b.Meta.Corpus += "a"
-	qa, qb := anchor.QuantizePair(a, b, *bits)
+	// Section 3 protocol: align, tag, quantize with a shared clip.
+	qa, qb := anchor.AlignQuantize(a, b, *bits)
 
 	// Anchors: the full-precision pair itself (callers with a dimension
 	// sweep should pass their largest pair; the CLI uses what it has).
-	c17, ccfg, _ := corpusFor(2017)
-	_ = ccfg
+	c17 := anchor.GenerateCorpus(anchor.DefaultCorpusConfig(), anchor.Wiki17)
 	ids := c17.TopWords(*top)
 	sa, sb := qa.SubRows(ids), qb.SubRows(ids)
 	ea, eb := a.SubRows(ids), b.SubRows(ids)
@@ -134,82 +189,142 @@ func cmdMeasure(args []string) error {
 	return nil
 }
 
-func cmdStability(args []string) error {
+func cmdStability(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stability", flag.ExitOnError)
 	algo := fs.String("algo", "mc", "embedding algorithm")
 	dim := fs.Int("dim", 32, "embedding dimension")
 	bits := fs.Int("bits", 32, "precision in bits")
 	seed := fs.Int64("seed", 1, "seed for embeddings and downstream model")
 	task := fs.String("task", "sst2", "downstream task: sst2, mr, subj, mpqa, conll2003")
-	workers := fs.Int("workers", 0, "training and measure goroutines (0 = all CPUs; result is identical for any value)")
+	sf := addServiceFlags(fs, "repro")
 	fs.Parse(args)
 
-	cfg := anchor.DefaultCorpusConfig()
-	c17 := anchor.GenerateCorpus(cfg, anchor.Wiki17)
-	c18 := anchor.GenerateCorpus(cfg, anchor.Wiki18)
+	svc, err := sf.newService()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("training %s dim=%d on Wiki'17 and Wiki'18...\n", *algo, *dim)
-	e17, err := anchor.TrainEmbeddingWorkers(*algo, c17, *dim, *seed, *workers)
+	rep, err := svc.Stability(ctx, *algo, *task, *dim, *bits, *seed)
 	if err != nil {
 		return err
 	}
-	e18, err := anchor.TrainEmbeddingWorkers(*algo, c18, *dim, *seed, *workers)
-	if err != nil {
-		return err
-	}
-	e18.AlignTo(e17)
-	e18.Meta.Corpus = "wiki18a"
-	q17, q18 := anchor.QuantizePair(e17, e18, *bits)
-
-	var di float64
-	switch *task {
-	case "conll2003":
-		ds := ner.Generate(c17, cfg, ner.CoNLLParams())
-		ncfg := ner.DefaultConfig(*seed)
-		m17 := ner.Train(q17, ds, ncfg)
-		m18 := ner.Train(q18, ds, ncfg)
-		di = core.PredictionDisagreementPct(m17.EntityPredictions(ds.Test), m18.EntityPredictions(ds.Test))
-	default:
-		var p sentiment.Params
-		switch *task {
-		case "sst2":
-			p = sentiment.SST2Params()
-		case "mr":
-			p = sentiment.MRParams()
-		case "subj":
-			p = sentiment.SubjParams()
-		case "mpqa":
-			p = sentiment.MPQAParams()
-		default:
-			return fmt.Errorf("unknown task %q", *task)
-		}
-		ds := sentiment.Generate(c17, cfg, p)
-		scfg := sentiment.DefaultLinearBOWConfig(*seed)
-		m17 := sentiment.TrainLinearBOW(q17, ds, scfg)
-		m18 := sentiment.TrainLinearBOW(q18, ds, scfg)
-		di = core.PredictionDisagreementPct(m17.Predict(ds.Test), m18.Predict(ds.Test))
-	}
-	fmt.Printf("task=%s algo=%s dim=%d bits=%d memory=%d bits/word\n", *task, *algo, *dim, *bits, *dim**bits)
-	fmt.Printf("downstream prediction disagreement: %.2f%%\n", di)
+	fmt.Printf("task=%s algo=%s dim=%d bits=%d memory=%d bits/word\n",
+		rep.Task, rep.Algo, rep.Dim, rep.Precision, rep.MemoryBits)
+	fmt.Printf("downstream prediction disagreement: %.2f%%\n", rep.Disagreement)
 	return nil
 }
 
-func cmdExperiment(args []string) error {
+// parseIntList parses "8,16,32" into ints.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad list entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func cmdSelect(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("select", flag.ExitOnError)
+	algo := fs.String("algo", "mc", "embedding algorithm")
+	dims := fs.String("dims", "8,16,32", "candidate dimensions (comma-separated)")
+	bitsList := fs.String("bits", "1,4,32", "candidate precisions (comma-separated)")
+	seed := fs.Int64("seed", 1, "training seed")
+	measure := fs.String("measure", "eigenspace-instability", "ranking measure")
+	budget := fs.Int("budget", 0, "memory budget in bits/word (0 = unlimited)")
+	sf := addServiceFlags(fs, "bench")
+	fs.Parse(args)
+
+	ds, err := parseIntList(*dims)
+	if err != nil {
+		return err
+	}
+	bs, err := parseIntList(*bitsList)
+	if err != nil {
+		return err
+	}
+	svc, err := sf.newService()
+	if err != nil {
+		return err
+	}
+	rep, err := svc.Select(ctx, anchor.SelectRequest{
+		Algo: *algo, Dims: ds, Precisions: bs, Seed: *seed,
+		Measure: *measure, BudgetBits: *budget,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ranking by %s (ascending = predicted more stable):\n", rep.Measure)
+	fmt.Println("  dim  bits  memory  value       in-budget")
+	for _, c := range rep.Candidates {
+		mark := " "
+		if c.WithinBudget {
+			mark = "*"
+		}
+		fmt.Printf("  %3d  %4d  %6d  %.6f  %s\n", c.Dim, c.Precision, c.MemoryBits, c.Value, mark)
+	}
+	if rep.Best != nil {
+		fmt.Printf("selected: dim=%d bits=%d (%d bits/word)\n", rep.Best.Dim, rep.Best.Precision, rep.Best.MemoryBits)
+	} else {
+		fmt.Println("no candidate satisfies the budget")
+	}
+	return nil
+}
+
+func cmdExperiment(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	id := fs.String("id", "fig1", "artifact id: "+strings.Join(anchor.ExperimentIDs(), ", "))
-	config := fs.String("config", "small", "config scale: small, bench, repro")
-	workers := fs.Int("workers", 0, "training and measure goroutines (0 = all CPUs; result is identical for any value)")
+	sf := addServiceFlags(fs, "small")
 	fs.Parse(args)
-	var cfg anchor.ExperimentConfig
-	switch *config {
-	case "small":
-		cfg = anchor.SmallExperimentConfig()
-	case "bench":
-		cfg = anchor.BenchExperimentConfig()
-	case "repro":
-		cfg = anchor.ReproExperimentConfig()
-	default:
-		return fmt.Errorf("unknown config %q", *config)
+
+	svc, err := sf.newService()
+	if err != nil {
+		return err
 	}
-	cfg.Workers = *workers
-	return anchor.RunExperiment(cfg, *id, os.Stdout)
+	return svc.Experiment(ctx, *id, os.Stdout)
+}
+
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	sf := addServiceFlags(fs, "bench")
+	fs.Parse(args)
+
+	logger := log.New(os.Stderr, "anchor-serve ", log.LstdFlags)
+	svc, err := sf.newService(anchor.WithProgress(func(stage string) {
+		if *sf.verbose {
+			logger.Println(stage)
+		}
+	}))
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.New(svc, logger).Handler(),
+		// Requests inherit the serve context: SIGINT/SIGTERM cancels
+		// in-flight computations at their next stage boundary.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s (config=%s, cache-dir=%q)", *addr, *sf.config, *sf.cacheDir)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		logger.Println("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
 }

@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"anchor"
 )
@@ -29,6 +32,7 @@ func run() int {
 	list := flag.Bool("list", false, "list artifact ids")
 	config := flag.String("config", "small", "config scale: small, bench, repro")
 	workers := flag.Int("workers", 0, "training and measure goroutines (0 = all CPUs; result is identical for any value)")
+	cacheDir := flag.String("cache-dir", "", "persist trained embeddings to this directory (reused across runs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
@@ -49,7 +53,6 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
 		return 2
 	}
-	cfg.Workers = *workers
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -82,12 +85,25 @@ func run() int {
 		}
 	}()
 
-	var err error
+	// One Service for the whole invocation: every experiment shares one
+	// runner and one artifact store, so the embedding grid is trained
+	// once (and, with -cache-dir, at most once across invocations).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	svc, err := anchor.NewService(
+		anchor.WithConfig(cfg),
+		anchor.WithWorkers(*workers),
+		anchor.WithCacheDir(*cacheDir),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 	switch {
 	case *all:
-		err = anchor.RunAllExperiments(cfg, nil, os.Stdout)
+		err = svc.Experiments(ctx, nil, os.Stdout)
 	case *id != "":
-		err = anchor.RunExperiment(cfg, *id, os.Stdout)
+		err = svc.Experiment(ctx, *id, os.Stdout)
 	default:
 		fmt.Fprintln(os.Stderr, "pass -id <artifact> or -all (use -list for ids)")
 		return 2

@@ -1,73 +1,69 @@
 // Selection demonstrates the practical payoff of the eigenspace
-// instability measure (Section 5.2): choosing dimension-precision
-// parameters under a memory budget WITHOUT training downstream models,
-// then checking the choice against the downstream-trained oracle.
+// instability measure (Section 5.2) as a service query: choosing
+// dimension-precision parameters under a memory budget WITHOUT training
+// downstream models (Service.Select), then checking the choice against
+// the downstream-trained oracle (Service.Stability per candidate).
 //
 //	go run ./examples/selection
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"anchor"
-	"anchor/internal/tasks/sentiment"
 )
 
 func main() {
 	ccfg := anchor.DefaultCorpusConfig()
 	ccfg.VocabSize = 600
 	ccfg.NumDocs = 300
-	c17 := anchor.GenerateCorpus(ccfg, anchor.Wiki17)
-	c18 := anchor.GenerateCorpus(ccfg, anchor.Wiki18)
-	ds := sentiment.Generate(c17, ccfg, sentiment.SST2Params())
-	top := c17.TopWords(200)
 
 	const seed = 1
 	dims := []int{8, 16, 32, 64}
 	precisions := []int{1, 2, 4, 8, 32}
 
-	// Train the dimension ladder once; the largest pair anchors the measure.
-	type pair struct{ e17, e18 *anchor.Embedding }
-	pairs := map[int]pair{}
-	for _, dim := range dims {
-		e17, err := anchor.TrainEmbedding("mc", c17, dim, seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		e18, err := anchor.TrainEmbedding("mc", c18, dim, seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		e18.AlignTo(e17)
-		e18.Meta.Corpus = "wiki18a"
-		pairs[dim] = pair{e17, e18}
-	}
-	big := pairs[dims[len(dims)-1]]
-	eis := anchor.NewEigenspaceInstability(big.e17.SubRows(top), big.e18.SubRows(top))
+	cfg := anchor.SmallExperimentConfig()
+	cfg.Corpus = ccfg
+	cfg.Dims = dims // the largest rung anchors the measure
+	cfg.TopWords = 200
+	cfg.KNNQueries = 200
 
-	fmt.Println("evaluating the dim x precision grid (measure is cheap; DI trains models)...")
+	svc, err := anchor.NewService(anchor.WithConfig(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// The cheap half: rank the whole grid by the measure. No downstream
+	// model is trained here — this is what a selection service serves.
+	fmt.Println("ranking the dim x precision grid by eigenspace instability (no downstream training)...")
+	sel, err := svc.Select(ctx, anchor.SelectRequest{
+		Algo: "mc", Dims: dims, Precisions: precisions, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The expensive half, run only to audit the cheap half: true
+	// downstream instability for every candidate.
+	fmt.Println("auditing against the downstream-trained oracle (trains 2 models per cell)...")
 	var cands []anchor.Candidate
-	for _, dim := range dims {
-		for _, bits := range precisions {
-			p := pairs[dim]
-			q17, q18 := anchor.QuantizePair(p.e17, p.e18, bits)
-			val := eis.Distance(q17.SubRows(top), q18.SubRows(top))
-
-			cfg := sentiment.DefaultLinearBOWConfig(seed)
-			m17 := sentiment.TrainLinearBOW(q17, ds, cfg)
-			m18 := sentiment.TrainLinearBOW(q18, ds, cfg)
-			di := anchor.PredictionDisagreementPct(m17.Predict(ds.Test), m18.Predict(ds.Test))
-			cands = append(cands, anchor.Candidate{
-				Dim: dim, Precision: bits,
-				Measures: map[string]float64{"eigenspace-instability": val},
-				TrueDI:   di,
-			})
+	for _, c := range sel.Candidates {
+		st, err := svc.Stability(ctx, "mc", "sst2", c.Dim, c.Precision, seed)
+		if err != nil {
+			log.Fatal(err)
 		}
+		cands = append(cands, anchor.Candidate{
+			Dim: c.Dim, Precision: c.Precision,
+			Measures: map[string]float64{sel.Measure: c.Value},
+			TrueDI:   st.Disagreement,
+		})
 	}
 
-	pairErr := anchor.PairwiseSelectionError(cands, "eigenspace-instability")
-	mean, worst := anchor.SelectUnderBudget(cands, "eigenspace-instability")
+	pairErr := anchor.PairwiseSelectionError(cands, sel.Measure)
+	mean, worst := anchor.SelectUnderBudget(cands, sel.Measure)
 	fmt.Printf("\npairwise selection error:      %.3f (0 = always picks the more stable config)\n", pairErr)
 	fmt.Printf("budget selection vs oracle:    mean %.2f%%, worst %.2f%% extra instability\n", mean, worst)
 	fmt.Println("\nmemory-budget groups (same dim x bits product, different tradeoffs):")

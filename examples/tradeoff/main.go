@@ -1,53 +1,50 @@
 // Tradeoff sweeps the dimension x precision grid for one embedding
-// algorithm and reports the paper's stability-memory tradeoff (Figures 1
-// and 2): downstream instability falls roughly linearly in log2(memory),
-// and the fitted slope is the paper's rule of thumb.
+// algorithm through the Service API and reports the paper's
+// stability-memory tradeoff (Figures 1 and 2): downstream instability
+// falls roughly linearly in log2(memory), and the fitted slope is the
+// paper's rule of thumb. The Service's artifact store trains each
+// dimension once and reuses it across the precision ladder.
 //
 //	go run ./examples/tradeoff
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"anchor"
-	"anchor/internal/tasks/sentiment"
 )
 
 func main() {
 	ccfg := anchor.DefaultCorpusConfig()
 	ccfg.VocabSize = 600
 	ccfg.NumDocs = 300
-	c17 := anchor.GenerateCorpus(ccfg, anchor.Wiki17)
-	c18 := anchor.GenerateCorpus(ccfg, anchor.Wiki18)
-	ds := sentiment.Generate(c17, ccfg, sentiment.SST2Params())
 
 	dims := []int{8, 16, 32, 64}
 	precisions := []int{1, 4, 32}
 	const seed = 1
 
+	cfg := anchor.SmallExperimentConfig()
+	cfg.Corpus = ccfg
+	cfg.Dims = dims
+
+	svc, err := anchor.NewService(anchor.WithConfig(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	fmt.Println("dim  bits  memory(bits/word)  disagreement(%)")
 	var pts []anchor.LinearLogPoint
 	for _, dim := range dims {
-		e17, err := anchor.TrainEmbedding("mc", c17, dim, seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		e18, err := anchor.TrainEmbedding("mc", c18, dim, seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		e18.AlignTo(e17)
-		e18.Meta.Corpus = "wiki18a"
 		for _, bits := range precisions {
-			q17, q18 := anchor.QuantizePair(e17, e18, bits)
-			cfg := sentiment.DefaultLinearBOWConfig(seed)
-			m17 := sentiment.TrainLinearBOW(q17, ds, cfg)
-			m18 := sentiment.TrainLinearBOW(q18, ds, cfg)
-			di := anchor.PredictionDisagreementPct(m17.Predict(ds.Test), m18.Predict(ds.Test))
-			mem := dim * bits
-			fmt.Printf("%3d  %4d  %17d  %6.2f\n", dim, bits, mem, di)
-			pts = append(pts, anchor.LinearLogPoint{Task: "sst2", X: float64(mem), Y: di})
+			st, err := svc.Stability(ctx, "mc", "sst2", dim, bits, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%3d  %4d  %17d  %6.2f\n", dim, bits, st.MemoryBits, st.Disagreement)
+			pts = append(pts, anchor.LinearLogPoint{Task: "sst2", X: float64(st.MemoryBits), Y: st.Disagreement})
 		}
 	}
 

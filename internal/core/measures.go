@@ -409,15 +409,5 @@ func AllMeasures(e, eTilde *embedding.Embedding) []Measure {
 // count is a pure throughput knob: every measure returns the same value
 // for every worker count.
 func AllMeasuresWorkers(e, eTilde *embedding.Embedding, workers int) []Measure {
-	eis := NewEigenspaceInstability(e, eTilde)
-	eis.Workers = workers
-	knn := NewKNN()
-	knn.Workers = workers
-	return []Measure{
-		eis,
-		knn,
-		SemanticDisplacement{Workers: workers},
-		PIPLoss{Workers: workers},
-		EigenspaceOverlap{Workers: workers},
-	}
+	return NewMeasures(MeasureConfig{Anchors: e, AnchorsTilde: eTilde, Workers: workers})
 }

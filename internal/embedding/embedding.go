@@ -93,6 +93,17 @@ func (e *Embedding) AlignTo(ref *Embedding) {
 	e.Vectors = matrix.Mul(e.Vectors, r)
 }
 
+// AlignTagged aligns e to ref with orthogonal Procrustes and marks e's
+// provenance as the aligned variant by appending "a" to its corpus tag
+// ("wiki18" -> "wiki18a"), so caches keyed on Meta can never confuse an
+// aligned embedding with its unaligned original. This is the paper's
+// Section 3 protocol step shared by the runner, the CLI, and
+// anchor.AlignQuantize.
+func AlignTagged(ref, e *Embedding) {
+	e.AlignTo(ref)
+	e.Meta.Corpus += "a"
+}
+
 // gobEmbedding is the serialized form.
 type gobEmbedding struct {
 	Rows, Cols int

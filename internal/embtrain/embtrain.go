@@ -23,6 +23,7 @@ import (
 	"anchor/internal/corpus"
 	"anchor/internal/embedding"
 	"anchor/internal/parallel"
+	"anchor/internal/registry"
 )
 
 // Trainer is the common interface implemented by all embedding algorithms.
@@ -33,10 +34,56 @@ type Trainer interface {
 	Name() string
 }
 
+// Factory builds a trainer with its goroutine budget set (workers <= 0
+// selects all CPUs). Implementations must keep the PR 1 determinism
+// contract: the trained embedding is a pure function of (corpus, dim,
+// seed) and bitwise identical for every worker count.
+type Factory func(workers int) Trainer
+
+// trainers is the pluggable algorithm registry. Registration order is the
+// reporting order.
+var trainers = registry.New[Factory]("algorithm")
+
+// Register makes a trainer factory available under name to every consumer
+// that resolves algorithms by name (the experiments runner, the service
+// layer, the CLIs). It panics on duplicate or empty names; call it from an
+// init function.
+func Register(name string, f Factory) { trainers.Register(name, f) }
+
+// Names returns the registered algorithm names in registration order.
+func Names() []string { return trainers.Names() }
+
+// CheckName returns nil when the algorithm is registered, else a
+// *registry.UnknownError naming the known algorithms.
+func CheckName(name string) error { return trainers.Check(name) }
+
+func init() {
+	Register("cbow", func(workers int) Trainer {
+		tr := NewCBOW()
+		tr.Workers = workers
+		return tr
+	})
+	Register("glove", func(workers int) Trainer {
+		tr := NewGloVe()
+		tr.Workers = workers
+		return tr
+	})
+	Register("mc", func(workers int) Trainer {
+		tr := NewMC()
+		tr.Workers = workers
+		return tr
+	})
+	Register("fasttext", func(workers int) Trainer {
+		tr := NewFastText()
+		tr.Workers = workers
+		return tr
+	})
+}
+
 // ByName returns the trainer with default configuration for the given
-// algorithm name ("cbow", "glove", "mc", or "fasttext"); ok is false for
-// unknown names. The default trainers use all CPUs; the result does not
-// depend on how many (see ByNameWorkers).
+// registered algorithm name; ok is false for unknown names. The default
+// trainers use all CPUs; the result does not depend on how many (see
+// ByNameWorkers).
 func ByName(name string) (Trainer, bool) {
 	return ByNameWorkers(name, 0)
 }
@@ -46,25 +93,21 @@ func ByName(name string) (Trainer, bool) {
 // the fixed training shards run concurrently; embeddings are bitwise
 // identical for any value.
 func ByNameWorkers(name string, workers int) (Trainer, bool) {
-	switch name {
-	case "cbow":
-		tr := NewCBOW()
-		tr.Workers = workers
-		return tr, true
-	case "glove":
-		tr := NewGloVe()
-		tr.Workers = workers
-		return tr, true
-	case "mc":
-		tr := NewMC()
-		tr.Workers = workers
-		return tr, true
-	case "fasttext":
-		tr := NewFastText()
-		tr.Workers = workers
-		return tr, true
+	f, ok := trainers.Get(name)
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	return f(workers), true
+}
+
+// Lookup is ByNameWorkers with the error form the service layer wants: it
+// returns a *registry.UnknownError naming the known algorithms.
+func Lookup(name string, workers int) (Trainer, error) {
+	f, err := trainers.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(workers), nil
 }
 
 // unigramTable is the word2vec-style negative sampling table: words are

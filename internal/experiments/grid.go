@@ -4,10 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"anchor/internal/core"
 	"anchor/internal/parallel"
-	"anchor/internal/tasks/ner"
-	"anchor/internal/tasks/sentiment"
 )
 
 // Cell is one fully evaluated grid point: an (algorithm, dimension,
@@ -128,32 +125,18 @@ func (r *Runner) evalCell(algo string, dim, prec int, seed int64, sentTasks []st
 		cell.Measures[m.Name()] = m.Distance(s17, s18)
 	}
 
-	for _, task := range sentTasks {
-		ds := r.SentimentData(task)
-		cfg := sentiment.DefaultLinearBOWConfig(seed)
-		var m17, m18 *sentiment.LinearBOW
-		r.trainPair(
-			func() { m17 = sentiment.TrainLinearBOW(q17, ds, cfg) },
-			func() { m18 = sentiment.TrainLinearBOW(q18, ds, cfg) },
-		)
-		// Test features: one blocked count-matrix product per embedding.
-		p17 := m17.PredictFeatures(sentiment.Features(q17, ds.TestCounts(), ds.Test, 1))
-		p18 := m18.PredictFeatures(sentiment.Features(q18, ds.TestCounts(), ds.Test, 1))
-		cell.DI[task] = core.PredictionDisagreementPct(p17, p18)
-		cell.Acc[task] = sentiment.AccuracyOf(p17, ds.Test)
-	}
-
+	taskNames := sentTasks
 	if withNER {
-		ds := r.NERData()
-		cfg := ner.DefaultConfig(seed)
-		var m17, m18 *ner.Tagger
-		r.trainPair(
-			func() { m17 = ner.Train(q17, ds, cfg) },
-			func() { m18 = ner.Train(q18, ds, cfg) },
-		)
-		p17, f1 := m17.EvaluateEntities(ds.Test)
-		cell.DI["conll2003"] = core.PredictionDisagreementPct(p17, m18.EntityPredictions(ds.Test))
-		cell.Acc["conll2003"] = f1
+		taskNames = append(append([]string(nil), sentTasks...), "conll2003")
+	}
+	for _, task := range taskNames {
+		ev, err := r.TaskEvaluator(task)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		res := ev.Eval(q17, q18, seed, r.trainPair)
+		cell.DI[task] = res.Disagreement
+		cell.Acc[task] = res.Accuracy
 	}
 	return cell
 }

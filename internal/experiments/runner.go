@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"anchor/internal/compress"
@@ -10,34 +12,64 @@ import (
 	"anchor/internal/embedding"
 	"anchor/internal/embtrain"
 	"anchor/internal/parallel"
+	"anchor/internal/store"
+	"anchor/internal/tasks"
 	"anchor/internal/tasks/ner"
 	"anchor/internal/tasks/sentiment"
 )
 
-// Runner executes experiments against a Config, caching the expensive
-// shared artifacts (corpora, trained embeddings, datasets, the
-// measurement grid) across experiments so that running the whole suite
-// trains each embedding exactly once.
+// Runner executes experiments against a Config. Expensive shared
+// artifacts are cached so that running the whole suite trains each
+// embedding exactly once: trained, aligned, and quantized embeddings live
+// in an artifact store (memory-only by default; give the store a cache
+// directory and they survive restarts), downstream task datasets are
+// generated once per task, and the measurement grid is cached per
+// configuration.
+//
+// Trainers, measures, and downstream tasks are resolved through their
+// registries (embtrain.Register, core.RegisterMeasure, tasks.Register),
+// so new backends plug in by name. The context-aware methods (PairCtx,
+// MeasuresCtx, ...) return errors; the legacy name-panicking variants are
+// retained as thin wrappers for existing callers and tests.
 type Runner struct {
 	Cfg Config
 
+	store *store.Store
+
 	mu        sync.Mutex
 	c17, c18  *corpus.Corpus
-	embCache  map[string]*embedding.Embedding // full precision, wiki18 pre-aligned
-	sentCache map[string]*sentiment.Dataset
-	nerCache  *ner.Dataset
+	taskCache map[string]tasks.Evaluator
 	topIDs    []int
 	gridCache map[string][]Cell
 }
 
-// NewRunner returns a Runner for the configuration.
+// NewRunner returns a Runner with an unbounded in-memory artifact store.
 func NewRunner(cfg Config) *Runner {
+	return NewRunnerWithStore(cfg, store.Memory())
+}
+
+// NewRunnerWithStore returns a Runner backed by the given artifact store;
+// a store opened on a cache directory makes trained embeddings survive
+// process restarts.
+func NewRunnerWithStore(cfg Config, st *store.Store) *Runner {
 	return &Runner{
 		Cfg:       cfg,
-		embCache:  map[string]*embedding.Embedding{},
-		sentCache: map[string]*sentiment.Dataset{},
+		store:     st,
+		taskCache: map[string]tasks.Evaluator{},
 		gridCache: map[string][]Cell{},
 	}
+}
+
+// Store exposes the runner's artifact store (for stats reporting).
+func (r *Runner) Store() *store.Store { return r.store }
+
+// corpusScope hashes the corpus generation config into the artifact-store
+// key scope, so stores shared between differently-configured runners can
+// never serve an embedding trained on the wrong corpus.
+func corpusScope(cfg corpus.Config) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", cfg)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Corpora returns the two snapshots, generating them on first use.
@@ -63,116 +95,254 @@ func (r *Runner) TopWordIDs() []int {
 	return r.topIDs
 }
 
-// Pair returns the full-precision embedding pair for (algo, dim, seed):
-// the Wiki'17 embedding and the Wiki'18 embedding already aligned to it
-// with orthogonal Procrustes (Section 3's protocol). Both are cached.
-func (r *Runner) Pair(algo string, dim int, seed int64) (*embedding.Embedding, *embedding.Embedding) {
+// embKey builds the artifact-store key for an embedding of this runner's
+// corpus configuration.
+func (r *Runner) embKey(algo, corpusTag string, dim int, seed int64, bits int) store.Key {
+	return store.Key{
+		Algo: algo, Corpus: corpusTag, Dim: dim, Seed: seed, Bits: bits,
+		Scope: corpusScope(r.Cfg.Corpus),
+	}
+}
+
+// TrainCtx returns the single unaligned embedding for (algo, year, dim,
+// seed) from the artifact store, training it on a miss. year selects the
+// snapshot (2017 or 2018).
+func (r *Runner) TrainCtx(ctx context.Context, algo string, year, dim int, seed int64) (*embedding.Embedding, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var tag string
+	switch year {
+	case 2017:
+		tag = "wiki17"
+	case 2018:
+		tag = "wiki18"
+	default:
+		return nil, fmt.Errorf("experiments: year must be 2017 or 2018, got %d", year)
+	}
 	c17, c18 := r.Corpora()
-	k17 := fmt.Sprintf("%s|17|%d|%d", algo, dim, seed)
-	k18 := fmt.Sprintf("%s|18|%d|%d", algo, dim, seed)
-
-	r.mu.Lock()
-	e17, ok17 := r.embCache[k17]
-	e18, ok18 := r.embCache[k18]
-	r.mu.Unlock()
-	if ok17 && ok18 {
-		return e17, e18
+	c := c17
+	if year == 2018 {
+		c = c18
 	}
+	return r.store.Get(r.embKey(algo, tag, dim, seed, 32), true, func() (*embedding.Embedding, error) {
+		tr, err := embtrain.Lookup(algo, r.Cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return tr.Train(c, dim, seed), nil
+	})
+}
 
-	tr, ok := embtrain.ByNameWorkers(algo, r.Cfg.Workers)
-	if !ok {
-		panic("experiments: unknown algorithm " + algo)
+// PairCtx returns the full-precision embedding pair for (algo, dim,
+// seed): the Wiki'17 embedding and the Wiki'18 embedding already aligned
+// to it with orthogonal Procrustes (Section 3's protocol). Both come from
+// the artifact store, so a warm store serves the pair without retraining;
+// the compute path trains both snapshots and aligns in one flight.
+func (r *Runner) PairCtx(ctx context.Context, algo string, dim int, seed int64) (*embedding.Embedding, *embedding.Embedding, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
-	e17 = tr.Train(c17, dim, seed)
-	e18 = tr.Train(c18, dim, seed)
-	e18.AlignTo(e17)
-	// Mark the aligned variant so SVD caching cannot confuse it with an
-	// unaligned embedding of the same provenance.
-	e18.Meta.Corpus = "wiki18a"
+	_, c18 := r.Corpora()
+	k17 := r.embKey(algo, "wiki17", dim, seed, 32)
+	k18 := r.embKey(algo, "wiki18a", dim, seed, 32)
+	return r.store.GetPair(k17, k18, true, func() (*embedding.Embedding, *embedding.Embedding, error) {
+		tr, err := embtrain.Lookup(algo, r.Cfg.Workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The Wiki'17 snapshot goes through its single-artifact store
+		// slot, so a pair request never retrains an embedding that
+		// /v1/train (or a restart's disk tier) already produced.
+		e17, err := r.TrainCtx(ctx, algo, 2017, dim, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		e18 := tr.Train(c18, dim, seed)
+		embedding.AlignTagged(e17, e18)
+		return e17, e18, nil
+	})
+}
 
-	r.mu.Lock()
-	r.embCache[k17] = e17
-	r.embCache[k18] = e18
-	r.mu.Unlock()
+// Pair is PairCtx without cancellation.
+//
+// Deprecated: it panics on unknown algorithm names; new callers should
+// use PairCtx.
+func (r *Runner) Pair(algo string, dim int, seed int64) (*embedding.Embedding, *embedding.Embedding) {
+	e17, e18, err := r.PairCtx(context.Background(), algo, dim, seed)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
 	return e17, e18
 }
 
-// QuantizedPair returns the (aligned) pair compressed to the given
-// precision with a shared clip, sliced for measures only by the caller.
-func (r *Runner) QuantizedPair(algo string, dim, prec int, seed int64) (*embedding.Embedding, *embedding.Embedding) {
-	e17, e18 := r.Pair(algo, dim, seed)
-	return compress.QuantizePair(e17, e18, prec)
+// QuantizedPairCtx returns the (aligned) pair compressed to the given
+// precision with a shared clip. Quantized variants are store artifacts
+// too, keyed by their precision, so repeated queries at the same cell
+// skip even the quantization pass.
+func (r *Runner) QuantizedPairCtx(ctx context.Context, algo string, dim, prec int, seed int64) (*embedding.Embedding, *embedding.Embedding, error) {
+	if prec == 32 {
+		return r.PairCtx(ctx, algo, dim, seed)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	k17 := r.embKey(algo, "wiki17", dim, seed, prec)
+	k18 := r.embKey(algo, "wiki18a", dim, seed, prec)
+	return r.store.GetPair(k17, k18, true, func() (*embedding.Embedding, *embedding.Embedding, error) {
+		e17, e18, err := r.PairCtx(ctx, algo, dim, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		q17, q18 := compress.QuantizePair(e17, e18, prec)
+		return q17, q18, nil
+	})
 }
 
-// Anchors returns the EIS anchor embeddings for an algorithm and seed:
-// the highest-dimensional full-precision pair, sliced to the top words.
-func (r *Runner) Anchors(algo string, seed int64) (*embedding.Embedding, *embedding.Embedding) {
-	e17, e18 := r.Pair(algo, r.Cfg.maxDim(), seed)
+// QuantizedPair is QuantizedPairCtx without cancellation.
+//
+// Deprecated: it panics on unknown algorithm names; new callers should
+// use QuantizedPairCtx.
+func (r *Runner) QuantizedPair(algo string, dim, prec int, seed int64) (*embedding.Embedding, *embedding.Embedding) {
+	q17, q18, err := r.QuantizedPairCtx(context.Background(), algo, dim, prec, seed)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return q17, q18
+}
+
+// AnchorsCtx returns the EIS anchor embeddings for an algorithm and seed:
+// the highest-dimensional full-precision pair of the configured ladder,
+// sliced to the top words.
+func (r *Runner) AnchorsCtx(ctx context.Context, algo string, seed int64) (*embedding.Embedding, *embedding.Embedding, error) {
+	return r.AnchorsAtCtx(ctx, algo, r.Cfg.maxDim(), seed)
+}
+
+// AnchorsAtCtx is AnchorsCtx with an explicit anchor dimension, for
+// sweeps whose ladder differs from the configured one (the paper anchors
+// EIS at the highest-memory pair of the sweep being ranked).
+func (r *Runner) AnchorsAtCtx(ctx context.Context, algo string, dim int, seed int64) (*embedding.Embedding, *embedding.Embedding, error) {
+	e17, e18, err := r.PairCtx(ctx, algo, dim, seed)
+	if err != nil {
+		return nil, nil, err
+	}
 	ids := r.TopWordIDs()
-	return e17.SubRows(ids), e18.SubRows(ids)
+	return e17.SubRows(ids), e18.SubRows(ids), nil
+}
+
+// Anchors is AnchorsCtx without cancellation.
+//
+// Deprecated: it panics on unknown algorithm names; new callers should
+// use AnchorsCtx.
+func (r *Runner) Anchors(algo string, seed int64) (*embedding.Embedding, *embedding.Embedding) {
+	e, et, err := r.AnchorsCtx(context.Background(), algo, seed)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return e, et
+}
+
+// TaskEvaluator returns the named downstream task bound to this runner's
+// Wiki'17 snapshot, building (and caching) it on first use through the
+// task registry.
+func (r *Runner) TaskEvaluator(name string) (tasks.Evaluator, error) {
+	c17, _ := r.Corpora()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ev, ok := r.taskCache[name]; ok {
+		return ev, nil
+	}
+	ev, err := tasks.New(name, c17, r.Cfg.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	r.taskCache[name] = ev
+	return ev, nil
 }
 
 // SentimentData returns the named sentiment dataset (generated once from
 // the Wiki'17 snapshot, shared by every model).
+//
+// Deprecated: it panics on unknown task names; new callers should use
+// TaskEvaluator.
 func (r *Runner) SentimentData(name string) *sentiment.Dataset {
-	c17, _ := r.Corpora()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if ds, ok := r.sentCache[name]; ok {
-		return ds
+	ev, err := r.TaskEvaluator(name)
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
-	var p sentiment.Params
-	switch name {
-	case "sst2":
-		p = sentiment.SST2Params()
-	case "mr":
-		p = sentiment.MRParams()
-	case "subj":
-		p = sentiment.SubjParams()
-	case "mpqa":
-		p = sentiment.MPQAParams()
-	default:
-		panic("experiments: unknown sentiment task " + name)
+	st, ok := ev.(*tasks.Sentiment)
+	if !ok {
+		panic(fmt.Sprintf("experiments: task %q is not a sentiment task", name))
 	}
-	ds := sentiment.Generate(c17, r.Cfg.Corpus, p)
-	r.sentCache[name] = ds
-	return ds
+	return st.Data
 }
 
 // NERData returns the CoNLL-analogue dataset.
 func (r *Runner) NERData() *ner.Dataset {
-	c17, _ := r.Corpora()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.nerCache == nil {
-		r.nerCache = ner.Generate(c17, r.Cfg.Corpus, ner.CoNLLParams())
+	ev, err := r.TaskEvaluator("conll2003")
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
-	return r.nerCache
+	return ev.(*tasks.NER).Data
 }
 
-// Measures returns the configured measure set for (algo, seed), with the
-// eigenspace instability anchors resolved and the config's worker budget
-// threaded into every measure.
+// StabilityCtx evaluates one downstream task on one grid cell: it fetches
+// the quantized aligned pair from the store, trains the task's
+// Wiki'17/Wiki'18 model pair (concurrently under the worker budget), and
+// returns the prediction disagreement and the Wiki'17 model's quality.
+// This is the serving-path unit: bitwise identical to the grid sweep's
+// per-cell evaluation.
+func (r *Runner) StabilityCtx(ctx context.Context, algo, task string, dim, prec int, seed int64) (tasks.Result, error) {
+	ev, err := r.TaskEvaluator(task)
+	if err != nil {
+		return tasks.Result{}, err
+	}
+	q17, q18, err := r.QuantizedPairCtx(ctx, algo, dim, prec, seed)
+	if err != nil {
+		return tasks.Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return tasks.Result{}, err
+	}
+	return ev.Eval(q17, q18, seed, r.trainPair), nil
+}
+
+// MeasuresCtx returns the configured measure set for (algo, seed) from
+// the measure registry, with the eigenspace instability anchors resolved
+// and the config's worker budget threaded into every measure.
+func (r *Runner) MeasuresCtx(ctx context.Context, algo string, seed int64) ([]core.Measure, error) {
+	e, et, err := r.AnchorsCtx(ctx, algo, seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewMeasures(core.MeasureConfig{
+		Anchors: e, AnchorsTilde: et,
+		Alpha: r.Cfg.Alpha, K: r.Cfg.K, Queries: r.Cfg.KNNQueries,
+		Workers: r.Cfg.Workers,
+	}), nil
+}
+
+// Measures is MeasuresCtx without cancellation.
+//
+// Deprecated: it panics on unknown algorithm names; new callers should
+// use MeasuresCtx.
 func (r *Runner) Measures(algo string, seed int64) []core.Measure {
-	e, et := r.Anchors(algo, seed)
-	w := r.Cfg.Workers
-	eis := &core.EigenspaceInstability{E: e, ETilde: et, Alpha: r.Cfg.Alpha, Workers: w}
-	knn := &core.KNN{K: r.Cfg.K, Queries: r.Cfg.KNNQueries, Seed: 7, Workers: w}
-	return []core.Measure{
-		eis, knn,
-		core.SemanticDisplacement{Workers: w},
-		core.PIPLoss{Workers: w},
-		core.EigenspaceOverlap{Workers: w},
+	ms, err := r.MeasuresCtx(context.Background(), algo, seed)
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
+	return ms
 }
 
-// MeasureNames lists the measure names in reporting order (Table 1's rows).
-func MeasureNames() []string {
-	return []string{
-		"eigenspace-instability", "1-knn", "semantic-displacement",
-		"pip-loss", "1-eigenspace-overlap",
-	}
-}
+// MeasureNames lists the measure names in reporting order (Table 1's
+// rows), straight from the measure registry.
+func MeasureNames() []string { return core.MeasureNames() }
 
 // parallelFor runs fn(i) for i in [0, n) on up to workers goroutines
 // (workers <= 0 selects all CPUs). fn must synchronize its own writes to

@@ -1,0 +1,90 @@
+// Package registry provides the small ordered name registry shared by the
+// pluggable subsystems (embedding trainers, distance measures, downstream
+// tasks). A Registry maps names to factories, preserves registration order
+// for stable reporting, and is safe for concurrent use so init-time
+// registration and request-time lookup never race.
+package registry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is an ordered, concurrency-safe name -> value map.
+type Registry[T any] struct {
+	// kind names the registry in panic messages ("trainer", "measure", ...).
+	kind string
+
+	mu    sync.RWMutex
+	names []string
+	items map[string]T
+}
+
+// New returns an empty registry; kind is used in error messages.
+func New[T any](kind string) *Registry[T] {
+	return &Registry[T]{kind: kind, items: map[string]T{}}
+}
+
+// Register adds a named entry. Names must be unique and non-empty:
+// registration happens at init time, so a collision is a programming error
+// and panics rather than returning an error nobody checks.
+func (r *Registry[T]) Register(name string, v T) {
+	if name == "" {
+		panic(fmt.Sprintf("registry: empty %s name", r.kind))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.items[name]; dup {
+		panic(fmt.Sprintf("registry: duplicate %s %q", r.kind, name))
+	}
+	r.items[name] = v
+	r.names = append(r.names, name)
+}
+
+// Get returns the entry registered under name.
+func (r *Registry[T]) Get(name string) (T, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.items[name]
+	return v, ok
+}
+
+// Names returns the registered names in registration order. The returned
+// slice is a copy.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// Lookup returns the entry for name or an *UnknownError listing the known
+// names — the shared error shape the service layer maps to HTTP 400.
+func (r *Registry[T]) Lookup(name string) (T, error) {
+	if v, ok := r.Get(name); ok {
+		return v, nil
+	}
+	var zero T
+	return zero, &UnknownError{Kind: r.kind, Name: name, Known: r.Names()}
+}
+
+// Check returns nil when name is registered and the same *UnknownError a
+// Lookup would, without constructing anything — the cheap request-time
+// validation the service layer runs before expensive work.
+func (r *Registry[T]) Check(name string) error {
+	if _, ok := r.Get(name); ok {
+		return nil
+	}
+	return &UnknownError{Kind: r.kind, Name: name, Known: r.Names()}
+}
+
+// UnknownError reports a lookup of a name nobody registered.
+type UnknownError struct {
+	Kind  string // what kind of thing was looked up ("trainer", "task", ...)
+	Name  string // the unknown name
+	Known []string
+}
+
+// Error implements error.
+func (e *UnknownError) Error() string {
+	return fmt.Sprintf("unknown %s %q (known: %v)", e.Kind, e.Name, e.Known)
+}

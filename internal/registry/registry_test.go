@@ -1,0 +1,56 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisterGetNamesOrder(t *testing.T) {
+	r := New[int]("thing")
+	r.Register("b", 2)
+	r.Register("a", 1)
+	r.Register("c", 3)
+	if v, ok := r.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "b" || names[1] != "a" || names[2] != "c" {
+		t.Fatalf("Names() = %v, want registration order [b a c]", names)
+	}
+	// Names returns a copy; mutating it must not corrupt the registry.
+	names[0] = "zzz"
+	if got := r.Names(); got[0] != "b" {
+		t.Fatal("Names() does not copy")
+	}
+}
+
+func TestDuplicateAndEmptyNamesPanic(t *testing.T) {
+	r := New[int]("thing")
+	r.Register("a", 1)
+	for _, name := range []string{"a", ""} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register(%q) did not panic", name)
+				}
+			}()
+			r.Register(name, 2)
+		}()
+	}
+}
+
+func TestLookupUnknownError(t *testing.T) {
+	r := New[int]("thing")
+	r.Register("a", 1)
+	if v, err := r.Lookup("a"); err != nil || v != 1 {
+		t.Fatalf("Lookup(a) = %v, %v", v, err)
+	}
+	_, err := r.Lookup("nope")
+	var unk *UnknownError
+	if !errors.As(err, &unk) {
+		t.Fatalf("want *UnknownError, got %v", err)
+	}
+	if unk.Kind != "thing" || unk.Name != "nope" || len(unk.Known) != 1 {
+		t.Fatalf("error contents: %+v", unk)
+	}
+}

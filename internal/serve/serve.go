@@ -1,0 +1,290 @@
+// Package serve exposes the anchor Service over HTTP as a JSON API — the
+// selection service the paper argues for, as a traffic-serving surface:
+// given an embedding configuration (or a whole candidate grid), answer
+// stability queries cheaply from measures and the artifact store instead
+// of retraining downstream models.
+//
+// Endpoints (all under /v1, JSON in/out):
+//
+//	GET  /v1/healthz    liveness + registry and store stats
+//	POST /v1/train      train (or fetch) one embedding snapshot
+//	POST /v1/measures   every distance measure at one grid cell
+//	POST /v1/stability  true downstream disagreement for one cell
+//	POST /v1/select     rank a dim x precision grid under a memory budget
+//
+// Requests are handled concurrently over one shared Service; the artifact
+// store's singleflight guarantees concurrent identical queries train at
+// most once, and determinism guarantees responses are bitwise identical
+// to the library path for any worker count. Each request is scoped to its
+// connection's context, so a dropped client cancels its computation at
+// the next stage boundary (reported as 499 in logs, nginx-style).
+//
+// Errors are structured: {"error": {"code": "...", "message": "..."}}
+// with 400 for malformed or unknown-name requests, 404 for unknown
+// routes, 405 for wrong methods, and 500 for internal failures.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+
+	"anchor"
+)
+
+// StatusClientClosedRequest is the nginx convention for "client canceled
+// the request before the response was ready".
+const StatusClientClosedRequest = 499
+
+// Server wraps one Service as an http.Handler.
+type Server struct {
+	svc *anchor.Service
+	log *log.Logger
+}
+
+// New returns a Server over svc. logger may be nil to disable logging.
+func New(svc *anchor.Service, logger *log.Logger) *Server {
+	return &Server{svc: svc, log: logger}
+}
+
+// Handler returns the routed handler for the /v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/train", s.handleTrain)
+	mux.HandleFunc("/v1/measures", s.handleMeasures)
+	mux.HandleFunc("/v1/stability", s.handleStability)
+	mux.HandleFunc("/v1/select", s.handleSelect)
+	// Unknown routes get the structured envelope too, not the mux's
+	// plain-text default.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no route %s (have /v1/healthz, /v1/train, /v1/measures, /v1/stability, /v1/select)", r.URL.Path))
+	})
+	return mux
+}
+
+// errorBody is the structured error envelope.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("serve: encode response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = message
+	s.writeJSON(w, status, body)
+}
+
+// fail maps a service error onto the structured error space: unknown
+// names and invalid parameters are the client's fault (400), a canceled
+// request context is the client hanging up (499, nginx convention), and
+// everything else is ours (500).
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
+	var unk *anchor.UnknownNameError
+	var inv *anchor.InvalidRequestError
+	switch {
+	case errors.As(err, &unk):
+		s.writeError(w, http.StatusBadRequest, "unknown_"+unk.Kind, unk.Error())
+	case errors.As(err, &inv):
+		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; the status is for logs and tests.
+		s.logf("serve: %s %s canceled", r.Method, r.URL.Path)
+		s.writeError(w, StatusClientClosedRequest, "client_closed_request", err.Error())
+	default:
+		s.logf("serve: %s %s failed: %v", r.Method, r.URL.Path, err)
+		s.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// decode parses a JSON body into v, rejecting unknown fields so typos in
+// request payloads fail loudly instead of silently selecting defaults.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s requires %s", r.URL.Path, method))
+		return false
+	}
+	return true
+}
+
+// healthzResponse reports liveness plus what is plugged in and how the
+// artifact store is doing.
+type healthzResponse struct {
+	Status     string   `json:"status"`
+	Algorithms []string `json:"algorithms"`
+	Tasks      []string `json:"tasks"`
+	Measures   []string `json:"measures"`
+	Store      struct {
+		MemHits   int64 `json:"mem_hits"`
+		DiskHits  int64 `json:"disk_hits"`
+		Computes  int64 `json:"computes"`
+		Evictions int64 `json:"evictions"`
+	} `json:"store"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp := healthzResponse{
+		Status:     "ok",
+		Algorithms: s.svc.Algorithms(),
+		Tasks:      s.svc.Tasks(),
+		Measures:   s.svc.Measures(),
+	}
+	st := s.svc.StoreStats()
+	resp.Store.MemHits = st.MemHits
+	resp.Store.DiskHits = st.DiskHits
+	resp.Store.Computes = st.Computes
+	resp.Store.Evictions = st.Evictions
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// trainRequest asks for one embedding snapshot.
+type trainRequest struct {
+	Algo string `json:"algo"`
+	Year int    `json:"year"`
+	Dim  int    `json:"dim"`
+	Seed int64  `json:"seed"`
+	// ReturnVectors includes the full matrix in the response (row-major);
+	// by default only provenance and shape are returned.
+	ReturnVectors bool `json:"return_vectors"`
+}
+
+type trainResponse struct {
+	Algo      string    `json:"algo"`
+	Corpus    string    `json:"corpus"`
+	Dim       int       `json:"dim"`
+	Seed      int64     `json:"seed"`
+	Precision int       `json:"bits"`
+	Rows      int       `json:"rows"`
+	Vectors   []float64 `json:"vectors,omitempty"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req trainRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	if req.Year == 0 {
+		req.Year = 2017
+	}
+	e, err := s.svc.Train(r.Context(), req.Algo, req.Year, req.Dim, req.Seed)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	resp := trainResponse{
+		Algo: e.Meta.Algorithm, Corpus: e.Meta.Corpus,
+		Dim: e.Dim(), Seed: e.Meta.Seed, Precision: e.Meta.Precision,
+		Rows: e.Rows(),
+	}
+	if req.ReturnVectors {
+		resp.Vectors = e.Vectors.Data
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// cellRequest identifies one grid cell.
+type cellRequest struct {
+	Algo string `json:"algo"`
+	Dim  int    `json:"dim"`
+	Bits int    `json:"bits"`
+	Seed int64  `json:"seed"`
+}
+
+func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req cellRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	rep, err := s.svc.MeasureCell(r.Context(), req.Algo, req.Dim, req.Bits, req.Seed)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// stabilityRequest identifies one grid cell and a downstream task.
+type stabilityRequest struct {
+	Algo string `json:"algo"`
+	Task string `json:"task"`
+	Dim  int    `json:"dim"`
+	Bits int    `json:"bits"`
+	Seed int64  `json:"seed"`
+}
+
+func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req stabilityRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	rep, err := s.svc.Stability(r.Context(), req.Algo, req.Task, req.Dim, req.Bits, req.Seed)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req anchor.SelectRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	rep, err := s.svc.Select(r.Context(), req)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
+}

@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"anchor"
+)
+
+// tinyConfig keeps HTTP tests at the experiments test scale.
+func tinyConfig() anchor.ExperimentConfig {
+	cfg := anchor.SmallExperimentConfig()
+	cfg.Algorithms = []string{"mc"}
+	cfg.Dims = []int{8, 16}
+	cfg.Precisions = []int{1, 32}
+	cfg.Seeds = []int64{1}
+	cfg.SentimentTasks = []string{"sst2"}
+	cfg.NEREnabled = false
+	return cfg
+}
+
+func newTestServer(t *testing.T, opts ...anchor.ServiceOption) (*Server, *anchor.Service) {
+	t.Helper()
+	svc, err := anchor.NewService(append([]anchor.ServiceOption{anchor.WithConfig(tinyConfig())}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(svc, nil), svc
+}
+
+// do issues one request against the handler and decodes the JSON reply.
+func do(t *testing.T, h http.Handler, method, path, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if out != nil && rr.Code == http.StatusOK {
+		if err := json.Unmarshal(rr.Body.Bytes(), out); err != nil {
+			t.Fatalf("decode %s %s: %v (body %s)", method, path, err, rr.Body.String())
+		}
+	}
+	return rr
+}
+
+func errCode(t *testing.T, rr *httptest.ResponseRecorder) string {
+	t.Helper()
+	var body struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode error body %q: %v", rr.Body.String(), err)
+	}
+	return body.Error.Code
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	h := srv.Handler()
+	var resp struct {
+		Status     string   `json:"status"`
+		Algorithms []string `json:"algorithms"`
+		Tasks      []string `json:"tasks"`
+		Measures   []string `json:"measures"`
+	}
+	rr := do(t, h, http.MethodGet, "/v1/healthz", "", &resp)
+	if rr.Code != http.StatusOK || resp.Status != "ok" {
+		t.Fatalf("healthz: %d %s", rr.Code, rr.Body.String())
+	}
+	if len(resp.Algorithms) == 0 || len(resp.Tasks) == 0 || len(resp.Measures) != 5 {
+		t.Fatalf("healthz registries: %+v", resp)
+	}
+	if rr := do(t, h, http.MethodPost, "/v1/healthz", "", nil); rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST healthz = %d, want 405", rr.Code)
+	}
+}
+
+func TestTrainEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	h := srv.Handler()
+	var resp struct {
+		Algo   string `json:"algo"`
+		Corpus string `json:"corpus"`
+		Dim    int    `json:"dim"`
+		Rows   int    `json:"rows"`
+	}
+	rr := do(t, h, http.MethodPost, "/v1/train", `{"algo":"mc","year":2017,"dim":8,"seed":1}`, &resp)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("train: %d %s", rr.Code, rr.Body.String())
+	}
+	if resp.Algo != "mc" || resp.Corpus != "wiki17" || resp.Dim != 8 || resp.Rows == 0 {
+		t.Fatalf("train response: %+v", resp)
+	}
+
+	// Unknown algorithm -> 400 with a structured code.
+	rr = do(t, h, http.MethodPost, "/v1/train", `{"algo":"elmo","year":2017,"dim":8}`, nil)
+	if rr.Code != http.StatusBadRequest || errCode(t, rr) != "unknown_algorithm" {
+		t.Fatalf("unknown algo: %d %s", rr.Code, rr.Body.String())
+	}
+	// Bad year -> 400.
+	rr = do(t, h, http.MethodPost, "/v1/train", `{"algo":"mc","year":1999,"dim":8}`, nil)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad year: %d", rr.Code)
+	}
+	// Unknown JSON field -> 400.
+	rr = do(t, h, http.MethodPost, "/v1/train", `{"algo":"mc","yr":2017}`, nil)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("typoed field: %d", rr.Code)
+	}
+}
+
+func TestMeasuresEndpointBitwiseEqualsLibrary(t *testing.T) {
+	// Server at workers=4, library reference at workers=1: the HTTP
+	// response must be bitwise identical to the library path for any
+	// worker count (acceptance criterion).
+	srv, _ := newTestServer(t, anchor.WithWorkers(4))
+	h := srv.Handler()
+	var resp anchor.MeasureReport
+	rr := do(t, h, http.MethodPost, "/v1/measures", `{"algo":"mc","dim":8,"bits":1,"seed":1}`, &resp)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("measures: %d %s", rr.Code, rr.Body.String())
+	}
+	if len(resp.Values) != 5 || resp.MemoryBits != 8 {
+		t.Fatalf("measures response: %+v", resp)
+	}
+
+	ref, err := anchor.NewService(anchor.WithConfig(tinyConfig()), anchor.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.MeasureCell(context.Background(), "mc", 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range want.Values {
+		if resp.Values[name] != v {
+			t.Fatalf("measure %s over HTTP %v != library %v", name, resp.Values[name], v)
+		}
+	}
+
+	rr = do(t, h, http.MethodPost, "/v1/measures", `{"algo":"elmo","dim":8}`, nil)
+	if rr.Code != http.StatusBadRequest || errCode(t, rr) != "unknown_algorithm" {
+		t.Fatalf("unknown algo: %d %s", rr.Code, rr.Body.String())
+	}
+}
+
+func TestStabilityEndpointBitwiseEqualsLibrary(t *testing.T) {
+	srv, _ := newTestServer(t, anchor.WithWorkers(4))
+	h := srv.Handler()
+	var resp anchor.StabilityReport
+	rr := do(t, h, http.MethodPost, "/v1/stability", `{"algo":"mc","task":"sst2","dim":8,"bits":1,"seed":1}`, &resp)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stability: %d %s", rr.Code, rr.Body.String())
+	}
+
+	ref, err := anchor.NewService(anchor.WithConfig(tinyConfig()), anchor.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Stability(context.Background(), "mc", "sst2", 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Disagreement != want.Disagreement || resp.Accuracy != want.Accuracy {
+		t.Fatalf("HTTP stability %+v != library %+v", resp, want)
+	}
+
+	rr = do(t, h, http.MethodPost, "/v1/stability", `{"algo":"mc","task":"imdb","dim":8}`, nil)
+	if rr.Code != http.StatusBadRequest || errCode(t, rr) != "unknown_task" {
+		t.Fatalf("unknown task: %d %s", rr.Code, rr.Body.String())
+	}
+}
+
+func TestSelectEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	h := srv.Handler()
+	var resp anchor.SelectReport
+	rr := do(t, h, http.MethodPost, "/v1/select",
+		`{"algo":"mc","dims":[8,16],"precisions":[1,32],"budget_bits":64}`, &resp)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("select: %d %s", rr.Code, rr.Body.String())
+	}
+	if len(resp.Candidates) != 4 || resp.Best == nil || resp.Best.MemoryBits > 64 {
+		t.Fatalf("select response: %+v", resp)
+	}
+
+	rr = do(t, h, http.MethodPost, "/v1/select", `{"algo":"mc","dims":[8],"precisions":[1],"measure":"vibes"}`, nil)
+	if rr.Code != http.StatusBadRequest || errCode(t, rr) != "unknown_measure" {
+		t.Fatalf("unknown measure: %d %s", rr.Code, rr.Body.String())
+	}
+	rr = do(t, h, http.MethodPost, "/v1/select", `{"algo":"mc","dims":[],"precisions":[1]}`, nil)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("empty grid: %d", rr.Code)
+	}
+}
+
+// TestCanceledRequestAborts covers the 499-style abort: a request whose
+// context is already canceled must not compute anything.
+func TestCanceledRequestAborts(t *testing.T) {
+	srv, svc := newTestServer(t)
+	h := srv.Handler()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/train", `{"algo":"mc","year":2017,"dim":8}`},
+		{"/v1/measures", `{"algo":"mc","dim":8,"bits":1}`},
+		{"/v1/stability", `{"algo":"mc","task":"sst2","dim":8,"bits":1}`},
+		{"/v1/select", `{"algo":"mc","dims":[8],"precisions":[1]}`},
+	} {
+		req := httptest.NewRequest(http.MethodPost, tc.path, strings.NewReader(tc.body)).WithContext(ctx)
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != StatusClientClosedRequest {
+			t.Fatalf("%s with canceled ctx = %d, want %d (%s)", tc.path, rr.Code, StatusClientClosedRequest, rr.Body.String())
+		}
+		if errCode(t, rr) != "client_closed_request" {
+			t.Fatalf("%s error code = %s", tc.path, errCode(t, rr))
+		}
+	}
+	if st := svc.StoreStats(); st.Computes != 0 {
+		t.Fatalf("canceled requests trained embeddings: %+v", st)
+	}
+}
+
+// TestSecondRequestServedFromStore asserts the acceptance criterion that
+// an identical second request is served from the artifact store.
+func TestSecondRequestServedFromStore(t *testing.T) {
+	srv, svc := newTestServer(t)
+	h := srv.Handler()
+	body := `{"algo":"mc","dim":8,"bits":1,"seed":1}`
+	if rr := do(t, h, http.MethodPost, "/v1/measures", body, nil); rr.Code != http.StatusOK {
+		t.Fatalf("first: %d", rr.Code)
+	}
+	computes := svc.StoreStats().Computes
+	if computes == 0 {
+		t.Fatal("first request trained nothing")
+	}
+	if rr := do(t, h, http.MethodPost, "/v1/measures", body, nil); rr.Code != http.StatusOK {
+		t.Fatalf("second: %d", rr.Code)
+	}
+	if got := svc.StoreStats().Computes; got != computes {
+		t.Fatalf("second identical request retrained: %d -> %d", computes, got)
+	}
+}
+
+// TestConcurrentRequests hammers the server with concurrent identical and
+// distinct queries over a real HTTP listener: all must succeed, identical
+// queries must produce byte-identical bodies, and (under -race) the
+// shared store/runner must be data-race free.
+func TestConcurrentRequests(t *testing.T) {
+	srv, _ := newTestServer(t, anchor.WithWorkers(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) ([]byte, int, error) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return b, resp.StatusCode, err
+	}
+
+	const perKind = 8
+	type result struct {
+		kind string
+		body []byte
+	}
+	kinds := map[string]string{
+		"measures-d8":  `{"algo":"mc","dim":8,"bits":1,"seed":1}`,
+		"measures-d16": `{"algo":"mc","dim":16,"bits":1,"seed":1}`,
+		"stability-d8": `{"algo":"mc","task":"sst2","dim":8,"bits":1,"seed":1}`,
+	}
+	paths := map[string]string{
+		"measures-d8":  "/v1/measures",
+		"measures-d16": "/v1/measures",
+		"stability-d8": "/v1/stability",
+	}
+
+	var wg sync.WaitGroup
+	results := make(chan result, 3*perKind)
+	errs := make(chan error, 3*perKind)
+	for kind := range kinds {
+		for i := 0; i < perKind; i++ {
+			wg.Add(1)
+			go func(kind string) {
+				defer wg.Done()
+				body, code, err := post(paths[kind], kinds[kind])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d: %s", kind, code, body)
+					return
+				}
+				results <- result{kind, body}
+			}(kind)
+		}
+	}
+	wg.Wait()
+	close(results)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	first := map[string][]byte{}
+	for res := range results {
+		if prev, ok := first[res.kind]; ok {
+			if !bytes.Equal(prev, res.body) {
+				t.Fatalf("%s: concurrent responses differ:\n%s\nvs\n%s", res.kind, prev, res.body)
+			}
+		} else {
+			first[res.kind] = res.body
+		}
+	}
+	if len(first) != 3 {
+		t.Fatalf("missing result kinds: %v", first)
+	}
+}
+
+func TestUnknownRouteAndMethod(t *testing.T) {
+	srv, _ := newTestServer(t)
+	h := srv.Handler()
+	rr := do(t, h, http.MethodGet, "/v1/nope", "", nil)
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown route = %d, want 404", rr.Code)
+	}
+	// 404s use the structured envelope too.
+	if errCode(t, rr) != "not_found" {
+		t.Fatalf("404 code = %q (body %s)", errCode(t, rr), rr.Body.String())
+	}
+	if rr := do(t, h, http.MethodGet, "/v1/measures", "", nil); rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET measures = %d, want 405", rr.Code)
+	}
+}

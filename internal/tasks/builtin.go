@@ -1,0 +1,78 @@
+package tasks
+
+import (
+	"anchor/internal/core"
+	"anchor/internal/corpus"
+	"anchor/internal/embedding"
+	"anchor/internal/tasks/ner"
+	"anchor/internal/tasks/sentiment"
+)
+
+// Sentiment evaluates a sentiment dataset with the paper's linear
+// bag-of-words model. The dataset (and its cached per-split count
+// matrices) is shared by every Eval call.
+type Sentiment struct {
+	Data *sentiment.Dataset
+}
+
+// Task implements Evaluator.
+func (s *Sentiment) Task() string { return s.Data.Name }
+
+// Eval implements Evaluator: it trains the two linear BOW models and
+// scores the test split through the cached count-matrix feature path
+// (bitwise identical to the per-example loop; see PR 3's golden tests).
+func (s *Sentiment) Eval(e17, e18 *embedding.Embedding, seed int64, train func(f17, f18 func())) Result {
+	ds := s.Data
+	cfg := sentiment.DefaultLinearBOWConfig(seed)
+	var m17, m18 *sentiment.LinearBOW
+	train(
+		func() { m17 = sentiment.TrainLinearBOW(e17, ds, cfg) },
+		func() { m18 = sentiment.TrainLinearBOW(e18, ds, cfg) },
+	)
+	p17 := m17.PredictFeatures(sentiment.Features(e17, ds.TestCounts(), ds.Test, 1))
+	p18 := m18.PredictFeatures(sentiment.Features(e18, ds.TestCounts(), ds.Test, 1))
+	return Result{
+		Disagreement: core.PredictionDisagreementPct(p17, p18),
+		Accuracy:     sentiment.AccuracyOf(p17, ds.Test),
+	}
+}
+
+// NER evaluates the CoNLL-2003 analogue with the BiLSTM tagger.
+type NER struct {
+	Data *ner.Dataset
+}
+
+// Task implements Evaluator.
+func (n *NER) Task() string { return "conll2003" }
+
+// Eval implements Evaluator.
+func (n *NER) Eval(e17, e18 *embedding.Embedding, seed int64, train func(f17, f18 func())) Result {
+	ds := n.Data
+	cfg := ner.DefaultConfig(seed)
+	var m17, m18 *ner.Tagger
+	train(
+		func() { m17 = ner.Train(e17, ds, cfg) },
+		func() { m18 = ner.Train(e18, ds, cfg) },
+	)
+	p17, f1 := m17.EvaluateEntities(ds.Test)
+	return Result{
+		Disagreement: core.PredictionDisagreementPct(p17, m18.EntityPredictions(ds.Test)),
+		Accuracy:     f1,
+	}
+}
+
+func init() {
+	for _, p := range sentiment.AllParams() {
+		name := p.Name
+		Register(name, func(c17 *corpus.Corpus, ccfg corpus.Config) (Evaluator, error) {
+			params, err := sentiment.ParamsByName(name)
+			if err != nil {
+				return nil, err
+			}
+			return &Sentiment{Data: sentiment.Generate(c17, ccfg, params)}, nil
+		})
+	}
+	Register("conll2003", func(c17 *corpus.Corpus, ccfg corpus.Config) (Evaluator, error) {
+		return &NER{Data: ner.Generate(c17, ccfg, ner.CoNLLParams())}, nil
+	})
+}

@@ -14,6 +14,7 @@
 package sentiment
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 
@@ -96,6 +97,22 @@ func MPQAParams() Params {
 // reporting order.
 func AllParams() []Params {
 	return []Params{SST2Params(), MRParams(), SubjParams(), MPQAParams()}
+}
+
+// ParamsByName resolves a sentiment task name ("sst2", "mr", "subj",
+// "mpqa") to its generation parameters. It is the single name switch for
+// sentiment tasks; unknown names return an error listing the known ones.
+func ParamsByName(name string) (Params, error) {
+	for _, p := range AllParams() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	known := make([]string, 0, 4)
+	for _, p := range AllParams() {
+		known = append(known, p.Name)
+	}
+	return Params{}, fmt.Errorf("sentiment: unknown task %q (known: %v)", name, known)
 }
 
 // Generate builds the dataset from a corpus snapshot. The corpus supplies

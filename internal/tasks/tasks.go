@@ -1,0 +1,70 @@
+// Package tasks is the pluggable registry of downstream tasks: the
+// consumers of an embedding pair whose prediction disagreement defines
+// downstream instability (Definition 1). Each task is registered by name
+// with a factory that binds it to a corpus snapshot (generating its
+// dataset once); the resulting Evaluator trains the Wiki'17/Wiki'18 model
+// pair on any embedding pair and reports disagreement and quality.
+//
+// The built-in tasks are the paper's: the four sentiment datasets with the
+// linear bag-of-words model (sst2, mr, subj, mpqa) and CoNLL-2003-style
+// NER with the BiLSTM tagger (conll2003). New tasks plug in with Register.
+package tasks
+
+import (
+	"anchor/internal/corpus"
+	"anchor/internal/embedding"
+	"anchor/internal/registry"
+)
+
+// Result is one downstream evaluation of an embedding pair.
+type Result struct {
+	// Disagreement is the prediction disagreement between the two models
+	// on the task's test split, in percent (Definition 1).
+	Disagreement float64
+	// Accuracy is the Wiki'17 model's test quality (accuracy for
+	// sentiment, entity token F1 for NER).
+	Accuracy float64
+}
+
+// Evaluator is a downstream task bound to its generated dataset.
+// Implementations must be safe for concurrent Eval calls and
+// deterministic: Result is a pure function of (e17, e18, seed).
+type Evaluator interface {
+	// Task returns the registered task name.
+	Task() string
+	// Eval trains the model pair on (e17, e18) and scores the test split.
+	// train runs the two training closures; callers pass a scheduler that
+	// may run them concurrently (the closures share no mutable state, so
+	// the schedule cannot change the result).
+	Eval(e17, e18 *embedding.Embedding, seed int64, train func(f17, f18 func())) Result
+}
+
+// Factory builds a task evaluator from the Wiki'17 snapshot. Dataset
+// generation must be deterministic in (corpus, cfg).
+type Factory func(c17 *corpus.Corpus, ccfg corpus.Config) (Evaluator, error)
+
+// reg is the pluggable task registry. Registration order is the reporting
+// order (the four sentiment tasks, then NER).
+var reg = registry.New[Factory]("task")
+
+// Register makes a task factory resolvable by name. Panics on duplicate
+// or empty names; call from init.
+func Register(name string, f Factory) { reg.Register(name, f) }
+
+// Names returns the registered task names in registration order.
+func Names() []string { return reg.Names() }
+
+// CheckName returns nil when the task is registered, else a
+// *registry.UnknownError naming the known tasks. Unlike New it builds
+// nothing, so it is free to call before expensive work.
+func CheckName(name string) error { return reg.Check(name) }
+
+// New builds the named task's evaluator for the given snapshot. Unknown
+// names return a *registry.UnknownError.
+func New(name string, c17 *corpus.Corpus, ccfg corpus.Config) (Evaluator, error) {
+	f, err := reg.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(c17, ccfg)
+}

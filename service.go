@@ -1,0 +1,492 @@
+package anchor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"anchor/internal/core"
+	"anchor/internal/embtrain"
+	"anchor/internal/experiments"
+	"anchor/internal/registry"
+	"anchor/internal/store"
+	"anchor/internal/tasks"
+)
+
+// Service is the context-aware entry point to anchor: a long-lived,
+// concurrency-safe handle over the experiment runner, the pluggable
+// registries (trainers, measures, downstream tasks), and the persistent
+// artifact store. It is the layer both the CLIs and the `anchor serve`
+// HTTP API are built on.
+//
+// All methods take a context.Context and return errors (no panics on
+// unknown names — those surface as *UnknownNameError). Embeddings are
+// cached by provenance in the artifact store, so repeated queries never
+// retrain; give the service a cache directory (WithCacheDir) and the
+// cache survives restarts.
+type Service struct {
+	runner   *experiments.Runner
+	progress func(string)
+	defSeed  int64
+	defBits  int
+}
+
+// UnknownNameError reports a request naming an unregistered algorithm,
+// task, or measure. The serve layer maps it to HTTP 400.
+type UnknownNameError = registry.UnknownError
+
+// InvalidRequestError reports a request with out-of-range parameters
+// (dimension, precision, empty candidate grid). The serve layer maps it
+// to HTTP 400; anything else that fails is an internal error.
+type InvalidRequestError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *InvalidRequestError) Error() string { return "anchor: " + e.Msg }
+
+func invalidf(format string, args ...any) error {
+	return &InvalidRequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// serviceSettings accumulates functional options.
+type serviceSettings struct {
+	cfg      ExperimentConfig
+	workers  *int
+	topWords *int
+	seed     int64
+	bits     int
+	cacheDir string
+	cacheCap int
+	progress func(string)
+}
+
+// ServiceOption configures NewService.
+type ServiceOption func(*serviceSettings)
+
+// WithConfig bases the service on an experiment configuration (corpus
+// scale, dimension ladder for EIS anchors, measure parameters). The
+// default is BenchExperimentConfig.
+func WithConfig(cfg ExperimentConfig) ServiceOption {
+	return func(s *serviceSettings) { s.cfg = cfg }
+}
+
+// WithWorkers bounds the goroutines used for training, measures, and the
+// grid sweep (<= 0 selects all CPUs). Results are bitwise identical for
+// every value; it is a pure throughput knob.
+func WithWorkers(n int) ServiceOption {
+	return func(s *serviceSettings) { s.workers = &n }
+}
+
+// WithSeed sets the default training seed used when a request passes
+// seed 0. The initial default is 1.
+func WithSeed(seed int64) ServiceOption {
+	return func(s *serviceSettings) { s.seed = seed }
+}
+
+// WithPrecision sets the default precision (bits per entry) used when a
+// request passes bits 0. The initial default is 32 (full precision).
+func WithPrecision(bits int) ServiceOption {
+	return func(s *serviceSettings) { s.bits = bits }
+}
+
+// WithTopWords sets the number of most-frequent words over which distance
+// measures are computed (the paper uses the top 10k).
+func WithTopWords(n int) ServiceOption {
+	return func(s *serviceSettings) { s.topWords = &n }
+}
+
+// WithCacheDir persists the artifact store to dir: trained, aligned, and
+// quantized embeddings are written there (see the internal/store package
+// docs for the layout) and reloaded bitwise-identically after a restart.
+func WithCacheDir(dir string) ServiceOption {
+	return func(s *serviceSettings) { s.cacheDir = dir }
+}
+
+// WithCacheCapacity bounds the in-process artifact LRU to n entries
+// (<= 0 = unbounded, the default). With a cache directory configured,
+// evicted artifacts reload from disk instead of retraining.
+func WithCacheCapacity(n int) ServiceOption {
+	return func(s *serviceSettings) { s.cacheCap = n }
+}
+
+// WithProgress installs a progress callback invoked with a short human
+// note at each expensive stage (training, measuring, downstream model
+// fits). The callback must be safe for concurrent use.
+func WithProgress(fn func(stage string)) ServiceOption {
+	return func(s *serviceSettings) { s.progress = fn }
+}
+
+// NewService builds a Service from functional options.
+func NewService(opts ...ServiceOption) (*Service, error) {
+	settings := &serviceSettings{
+		cfg:  BenchExperimentConfig(),
+		seed: 1,
+		bits: 32,
+	}
+	for _, opt := range opts {
+		opt(settings)
+	}
+	if settings.workers != nil {
+		settings.cfg.Workers = *settings.workers
+	}
+	if settings.topWords != nil {
+		settings.cfg.TopWords = *settings.topWords
+	}
+	if settings.bits != 32 && settings.bits != 0 {
+		if err := validBits(settings.bits); err != nil {
+			return nil, err
+		}
+	}
+	st, err := store.Open(settings.cacheDir, settings.cacheCap)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		runner:   experiments.NewRunnerWithStore(settings.cfg, st),
+		progress: settings.progress,
+		defSeed:  settings.seed,
+		defBits:  settings.bits,
+	}, nil
+}
+
+// Config returns the experiment configuration the service runs at.
+func (s *Service) Config() ExperimentConfig { return s.runner.Cfg }
+
+// StoreStats reports artifact-store traffic (hits, disk hits, computes).
+func (s *Service) StoreStats() store.Stats { return s.runner.Store().Stats() }
+
+// Algorithms lists the registered embedding trainers.
+func (s *Service) Algorithms() []string { return embtrain.Names() }
+
+// Tasks lists the registered downstream tasks.
+func (s *Service) Tasks() []string { return tasks.Names() }
+
+// Measures lists the registered distance measures in reporting order.
+func (s *Service) Measures() []string { return core.MeasureNames() }
+
+func (s *Service) note(format string, args ...any) {
+	if s.progress != nil {
+		s.progress(fmt.Sprintf(format, args...))
+	}
+}
+
+func (s *Service) seed(seed int64) int64 {
+	if seed == 0 {
+		return s.defSeed
+	}
+	return seed
+}
+
+func (s *Service) bits(bits int) int {
+	if bits == 0 {
+		if s.defBits == 0 {
+			return 32
+		}
+		return s.defBits
+	}
+	return bits
+}
+
+func validBits(bits int) error {
+	if bits < 1 || bits > 32 {
+		return invalidf("precision must be 1..32 bits, got %d", bits)
+	}
+	return nil
+}
+
+func validDim(dim int) error {
+	if dim < 1 {
+		return invalidf("dimension must be positive, got %d", dim)
+	}
+	return nil
+}
+
+// The registries own the unknown-name error shape; these aliases keep
+// request validation ahead of expensive work (training, dataset
+// generation) without reimplementing the lookup.
+func (s *Service) checkAlgo(algo string) error       { return embtrain.CheckName(algo) }
+func (s *Service) checkTask(task string) error       { return tasks.CheckName(task) }
+func (s *Service) checkMeasure(measure string) error { return core.CheckMeasure(measure) }
+
+// Train returns the embedding for (algo, year, dim, seed), served from
+// the artifact store or trained on a miss. year selects the corpus
+// snapshot (2017 or 2018); seed 0 selects the service default. The result
+// must be treated as read-only: it is shared with the cache.
+func (s *Service) Train(ctx context.Context, algo string, year, dim int, seed int64) (*Embedding, error) {
+	if err := errors.Join(ctx.Err(), s.checkAlgo(algo), validDim(dim)); err != nil {
+		return nil, err
+	}
+	if year != 2017 && year != 2018 {
+		return nil, invalidf("year must be 2017 or 2018, got %d", year)
+	}
+	seed = s.seed(seed)
+	s.note("train %s wiki%d d=%d seed=%d", algo, year%100, dim, seed)
+	return s.runner.TrainCtx(ctx, algo, year, dim, seed)
+}
+
+// Pair returns the aligned full-precision pair for (algo, dim, seed): the
+// Wiki'17 embedding and the Wiki'18 embedding rotated onto it with
+// orthogonal Procrustes (Section 3's protocol). Served from the artifact
+// store when warm. Treat both as read-only.
+func (s *Service) Pair(ctx context.Context, algo string, dim int, seed int64) (*Embedding, *Embedding, error) {
+	if err := errors.Join(ctx.Err(), s.checkAlgo(algo), validDim(dim)); err != nil {
+		return nil, nil, err
+	}
+	seed = s.seed(seed)
+	s.note("pair %s d=%d seed=%d", algo, dim, seed)
+	return s.runner.PairCtx(ctx, algo, dim, seed)
+}
+
+// MeasureReport is one embedding-distance evaluation of a grid cell.
+type MeasureReport struct {
+	Algo      string `json:"algo"`
+	Dim       int    `json:"dim"`
+	Precision int    `json:"bits"`
+	Seed      int64  `json:"seed"`
+	// MemoryBits is the paper's memory axis: dim x precision.
+	MemoryBits int `json:"memory_bits"`
+	// Values maps measure name to its distance value, over every
+	// registered measure.
+	Values map[string]float64 `json:"measures"`
+}
+
+// MeasureCell computes every registered distance measure between the
+// quantized aligned pair at (algo, dim, bits, seed), over the configured
+// top words, with EIS anchored at the configuration's largest dimension —
+// exactly the grid sweep's per-cell measure evaluation, so values are
+// bitwise identical to the library/grid path for any worker count.
+// bits 0 and seed 0 select the service defaults.
+func (s *Service) MeasureCell(ctx context.Context, algo string, dim, bits int, seed int64) (MeasureReport, error) {
+	if err := errors.Join(ctx.Err(), s.checkAlgo(algo), validDim(dim)); err != nil {
+		return MeasureReport{}, err
+	}
+	bits, seed = s.bits(bits), s.seed(seed)
+	if err := validBits(bits); err != nil {
+		return MeasureReport{}, err
+	}
+	s.note("measures %s d=%d b=%d seed=%d", algo, dim, bits, seed)
+	q17, q18, err := s.runner.QuantizedPairCtx(ctx, algo, dim, bits, seed)
+	if err != nil {
+		return MeasureReport{}, err
+	}
+	ms, err := s.runner.MeasuresCtx(ctx, algo, seed)
+	if err != nil {
+		return MeasureReport{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return MeasureReport{}, err
+	}
+	ids := s.runner.TopWordIDs()
+	s17, s18 := q17.SubRows(ids), q18.SubRows(ids)
+	rep := MeasureReport{
+		Algo: algo, Dim: dim, Precision: bits, Seed: seed,
+		MemoryBits: dim * bits,
+		Values:     make(map[string]float64, len(ms)),
+	}
+	for _, m := range ms {
+		if err := ctx.Err(); err != nil {
+			return MeasureReport{}, err
+		}
+		rep.Values[m.Name()] = m.Distance(s17, s18)
+	}
+	return rep, nil
+}
+
+// StabilityReport is one end-to-end downstream instability evaluation.
+type StabilityReport struct {
+	Algo      string `json:"algo"`
+	Task      string `json:"task"`
+	Dim       int    `json:"dim"`
+	Precision int    `json:"bits"`
+	Seed      int64  `json:"seed"`
+	// MemoryBits is the paper's memory axis: dim x precision.
+	MemoryBits int `json:"memory_bits"`
+	// Disagreement is the downstream prediction disagreement between the
+	// Wiki'17 and Wiki'18 models, in percent (Definition 1).
+	Disagreement float64 `json:"disagreement_pct"`
+	// Accuracy is the Wiki'17 model's test quality.
+	Accuracy float64 `json:"accuracy"`
+}
+
+// Stability measures true downstream instability for one configuration:
+// it fetches the quantized aligned pair, trains the named task's model
+// pair, and reports prediction disagreement (Definition 1) and quality.
+// bits 0 and seed 0 select the service defaults.
+func (s *Service) Stability(ctx context.Context, algo, task string, dim, bits int, seed int64) (StabilityReport, error) {
+	if err := errors.Join(ctx.Err(), s.checkAlgo(algo), s.checkTask(task), validDim(dim)); err != nil {
+		return StabilityReport{}, err
+	}
+	bits, seed = s.bits(bits), s.seed(seed)
+	if err := validBits(bits); err != nil {
+		return StabilityReport{}, err
+	}
+	s.note("stability %s/%s d=%d b=%d seed=%d", algo, task, dim, bits, seed)
+	res, err := s.runner.StabilityCtx(ctx, algo, task, dim, bits, seed)
+	if err != nil {
+		return StabilityReport{}, err
+	}
+	return StabilityReport{
+		Algo: algo, Task: task, Dim: dim, Precision: bits, Seed: seed,
+		MemoryBits:   dim * bits,
+		Disagreement: res.Disagreement,
+		Accuracy:     res.Accuracy,
+	}, nil
+}
+
+// SelectRequest parameterizes Select: the candidate grid and the measure
+// used to rank it.
+type SelectRequest struct {
+	Algo string `json:"algo"`
+	// Dims and Precisions span the candidate grid.
+	Dims       []int `json:"dims"`
+	Precisions []int `json:"precisions"`
+	// Seed 0 selects the service default.
+	Seed int64 `json:"seed"`
+	// Measure ranks candidates (default eigenspace-instability, the
+	// paper's proposed criterion).
+	Measure string `json:"measure"`
+	// BudgetBits, when positive, restricts the selection to candidates
+	// with dim x bits <= BudgetBits (Section 5.2's budget setting).
+	BudgetBits int `json:"budget_bits"`
+}
+
+// SelectCandidate is one ranked dimension-precision configuration.
+type SelectCandidate struct {
+	Dim        int     `json:"dim"`
+	Precision  int     `json:"bits"`
+	MemoryBits int     `json:"memory_bits"`
+	Value      float64 `json:"value"`
+	// WithinBudget marks candidates satisfying the memory budget.
+	WithinBudget bool `json:"within_budget"`
+}
+
+// SelectReport ranks the candidate grid by the measure.
+type SelectReport struct {
+	Algo       string `json:"algo"`
+	Measure    string `json:"measure"`
+	Seed       int64  `json:"seed"`
+	BudgetBits int    `json:"budget_bits"`
+	// Candidates are sorted by ascending measure value (most stable
+	// first); ties break toward smaller memory.
+	Candidates []SelectCandidate `json:"candidates"`
+	// Best is the minimum-value candidate within budget; nil when the
+	// budget excludes every candidate.
+	Best *SelectCandidate `json:"best,omitempty"`
+}
+
+// Select is the paper's payoff as a query: rank a dimension-precision
+// grid by a cheap embedding-distance measure — no downstream models
+// trained — and pick the predicted-most-stable configuration under a
+// memory budget (Section 5.2). seed 0 and measure "" select defaults.
+func (s *Service) Select(ctx context.Context, req SelectRequest) (SelectReport, error) {
+	if req.Measure == "" {
+		req.Measure = "eigenspace-instability"
+	}
+	if err := errors.Join(ctx.Err(), s.checkAlgo(req.Algo), s.checkMeasure(req.Measure)); err != nil {
+		return SelectReport{}, err
+	}
+	if len(req.Dims) == 0 || len(req.Precisions) == 0 {
+		return SelectReport{}, invalidf("select needs at least one dim and one precision")
+	}
+	for _, d := range req.Dims {
+		if err := validDim(d); err != nil {
+			return SelectReport{}, err
+		}
+	}
+	for _, b := range req.Precisions {
+		if err := validBits(b); err != nil {
+			return SelectReport{}, err
+		}
+	}
+	seed := s.seed(req.Seed)
+	s.note("select %s by %s over %d cells", req.Algo, req.Measure, len(req.Dims)*len(req.Precisions))
+
+	// The paper anchors EIS at the highest-memory pair of the sweep
+	// being ranked — the request's largest dimension, not the service
+	// config's ladder (which the request may exceed or not reach).
+	anchorDim := req.Dims[0]
+	for _, d := range req.Dims {
+		if d > anchorDim {
+			anchorDim = d
+		}
+	}
+	e, et, err := s.runner.AnchorsAtCtx(ctx, req.Algo, anchorDim, seed)
+	if err != nil {
+		return SelectReport{}, err
+	}
+	cfg := s.runner.Cfg
+	m, err := core.NewMeasure(req.Measure, core.MeasureConfig{
+		Anchors: e, AnchorsTilde: et,
+		Alpha: cfg.Alpha, K: cfg.K, Queries: cfg.KNNQueries,
+		Workers: cfg.Workers,
+	})
+	if err != nil {
+		return SelectReport{}, err
+	}
+
+	ids := s.runner.TopWordIDs()
+	rep := SelectReport{Algo: req.Algo, Measure: req.Measure, Seed: seed, BudgetBits: req.BudgetBits}
+	for _, dim := range req.Dims {
+		for _, bits := range req.Precisions {
+			if err := ctx.Err(); err != nil {
+				return SelectReport{}, err
+			}
+			q17, q18, err := s.runner.QuantizedPairCtx(ctx, req.Algo, dim, bits, seed)
+			if err != nil {
+				return SelectReport{}, err
+			}
+			cand := SelectCandidate{
+				Dim: dim, Precision: bits, MemoryBits: dim * bits,
+				Value:        m.Distance(q17.SubRows(ids), q18.SubRows(ids)),
+				WithinBudget: req.BudgetBits <= 0 || dim*bits <= req.BudgetBits,
+			}
+			rep.Candidates = append(rep.Candidates, cand)
+		}
+	}
+	sort.SliceStable(rep.Candidates, func(i, j int) bool {
+		a, b := rep.Candidates[i], rep.Candidates[j]
+		if a.Value != b.Value {
+			return a.Value < b.Value
+		}
+		return a.MemoryBits < b.MemoryBits
+	})
+	for i := range rep.Candidates {
+		if rep.Candidates[i].WithinBudget {
+			c := rep.Candidates[i]
+			rep.Best = &c
+			break
+		}
+	}
+	return rep, nil
+}
+
+// Experiment reproduces a registered paper artifact by id against the
+// service's shared runner (so embeddings are reused across experiments)
+// and renders its tables to w.
+func (s *Service) Experiment(ctx context.Context, id string, w io.Writer) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.note("experiment %s", id)
+	return renderExperiment(s.runner, id, w)
+}
+
+// Experiments reproduces the given artifact ids (all registered ones when
+// empty) against the shared runner.
+func (s *Service) Experiments(ctx context.Context, ids []string, w io.Writer) error {
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.Experiment(ctx, id, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package anchor_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"anchor"
+)
+
+// tinyServiceConfig keeps service tests at the experiments test scale:
+// one cheap algorithm, a two-step dimension ladder, the test corpus.
+func tinyServiceConfig() anchor.ExperimentConfig {
+	cfg := anchor.SmallExperimentConfig()
+	cfg.Algorithms = []string{"mc"}
+	cfg.Dims = []int{8, 16}
+	cfg.Precisions = []int{1, 32}
+	cfg.Seeds = []int64{1}
+	cfg.SentimentTasks = []string{"sst2"}
+	cfg.NEREnabled = false
+	return cfg
+}
+
+func newTinyService(t *testing.T, opts ...anchor.ServiceOption) *anchor.Service {
+	t.Helper()
+	svc, err := anchor.NewService(append([]anchor.ServiceOption{anchor.WithConfig(tinyServiceConfig())}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestAlignQuantizeMatchesInlinedSequence pins the AlignQuantize helper
+// bitwise to the align -> meta-tag -> quantize ritual it replaces.
+func TestAlignQuantizeMatchesInlinedSequence(t *testing.T) {
+	cfg := anchor.DefaultCorpusConfig()
+	cfg.VocabSize = 300
+	cfg.NumDocs = 120
+	c17 := anchor.GenerateCorpus(cfg, anchor.Wiki17)
+	c18 := anchor.GenerateCorpus(cfg, anchor.Wiki18)
+	e17, err := anchor.TrainEmbedding("mc", c17, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e18, err := anchor.TrainEmbedding("mc", c18, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inlined legacy sequence on clones.
+	a, b := e17.Clone(), e18.Clone()
+	b.AlignTo(a)
+	b.Meta.Corpus += "a"
+	wq17, wq18 := anchor.QuantizePair(a, b, 4)
+
+	gq17, gq18 := anchor.AlignQuantize(e17, e18, 4)
+
+	if e18.Meta.Corpus != "wiki18a" {
+		t.Fatalf("AlignQuantize did not tag the aligned corpus: %q", e18.Meta.Corpus)
+	}
+	for i := range wq17.Vectors.Data {
+		if gq17.Vectors.Data[i] != wq17.Vectors.Data[i] {
+			t.Fatalf("q17 bit mismatch at %d", i)
+		}
+	}
+	for i := range wq18.Vectors.Data {
+		if gq18.Vectors.Data[i] != wq18.Vectors.Data[i] {
+			t.Fatalf("q18 bit mismatch at %d", i)
+		}
+	}
+	if gq17.Meta != wq17.Meta || gq18.Meta != wq18.Meta {
+		t.Fatalf("meta mismatch: %+v vs %+v / %+v vs %+v", gq17.Meta, wq17.Meta, gq18.Meta, wq18.Meta)
+	}
+}
+
+// TestServiceMeasuresBitwiseAcrossWorkers is the service-level
+// determinism contract: measure values must be bitwise identical for any
+// worker count (and therefore identical to the library grid path, which
+// shares the same code).
+func TestServiceMeasuresBitwiseAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	s1 := newTinyService(t, anchor.WithWorkers(1))
+	s4 := newTinyService(t, anchor.WithWorkers(4))
+
+	r1, err := s1.MeasureCell(ctx, "mc", 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := s4.MeasureCell(ctx, "mc", 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Values) != 5 {
+		t.Fatalf("expected 5 measures, got %d", len(r1.Values))
+	}
+	for name, v := range r1.Values {
+		if r4.Values[name] != v {
+			t.Fatalf("measure %s: workers=1 %v != workers=4 %v", name, v, r4.Values[name])
+		}
+	}
+
+	st1, err := s1.Stability(ctx, "mc", "sst2", 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st4, err := s4.Stability(ctx, "mc", "sst2", 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Disagreement != st4.Disagreement || st1.Accuracy != st4.Accuracy {
+		t.Fatalf("stability drifted across workers: %+v vs %+v", st1, st4)
+	}
+}
+
+// TestServiceSecondQueryServedFromStore asserts the caching acceptance
+// criterion: an identical second request must not retrain.
+func TestServiceSecondQueryServedFromStore(t *testing.T) {
+	ctx := context.Background()
+	svc := newTinyService(t)
+	if _, err := svc.MeasureCell(ctx, "mc", 8, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	computes := svc.StoreStats().Computes
+	if computes == 0 {
+		t.Fatal("first query should have trained something")
+	}
+	if _, err := svc.MeasureCell(ctx, "mc", 8, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.StoreStats().Computes; got != computes {
+		t.Fatalf("second identical query retrained: computes %d -> %d", computes, got)
+	}
+}
+
+// TestServiceRestartServedFromDisk asserts the persistence acceptance
+// criterion: a fresh service over the same cache dir serves bitwise
+// identical embeddings without any compute.
+func TestServiceRestartServedFromDisk(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s1 := newTinyService(t, anchor.WithCacheDir(dir))
+	e17, e18, err := s1.Pair(ctx, "mc", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTinyService(t, anchor.WithCacheDir(dir))
+	f17, f18, err := s2.Pair(ctx, "mc", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.StoreStats()
+	if st.Computes != 0 {
+		t.Fatalf("restart retrained: %+v", st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatalf("restart did not touch the disk tier: %+v", st)
+	}
+	for i := range e17.Vectors.Data {
+		if f17.Vectors.Data[i] != e17.Vectors.Data[i] {
+			t.Fatalf("e17 restart not bitwise at %d", i)
+		}
+	}
+	for i := range e18.Vectors.Data {
+		if f18.Vectors.Data[i] != e18.Vectors.Data[i] {
+			t.Fatalf("e18 restart not bitwise at %d", i)
+		}
+	}
+}
+
+func TestServiceUnknownNames(t *testing.T) {
+	ctx := context.Background()
+	svc := newTinyService(t)
+	var unk *anchor.UnknownNameError
+
+	if _, err := svc.Train(ctx, "elmo", 2017, 8, 1); !errors.As(err, &unk) {
+		t.Fatalf("Train: want UnknownNameError, got %v", err)
+	}
+	if unk.Kind != "algorithm" {
+		t.Fatalf("kind = %q", unk.Kind)
+	}
+	if _, err := svc.Stability(ctx, "mc", "imdb", 8, 1, 1); !errors.As(err, &unk) {
+		t.Fatalf("Stability: want UnknownNameError, got %v", err)
+	}
+	if unk.Kind != "task" {
+		t.Fatalf("kind = %q", unk.Kind)
+	}
+	if _, err := svc.Select(ctx, anchor.SelectRequest{
+		Algo: "mc", Dims: []int{8}, Precisions: []int{1}, Measure: "vibes",
+	}); !errors.As(err, &unk) {
+		t.Fatalf("Select: want UnknownNameError, got %v", err)
+	}
+	if unk.Kind != "measure" {
+		t.Fatalf("kind = %q", unk.Kind)
+	}
+}
+
+func TestServiceCanceledContext(t *testing.T) {
+	svc := newTinyService(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.MeasureCell(ctx, "mc", 8, 1, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := svc.Stability(ctx, "mc", "sst2", 8, 1, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestServiceDefaults checks WithSeed/WithPrecision backfill of zero
+// request values.
+func TestServiceDefaults(t *testing.T) {
+	ctx := context.Background()
+	svc := newTinyService(t, anchor.WithSeed(1), anchor.WithPrecision(1))
+	rep, err := svc.MeasureCell(ctx, "mc", 8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Precision != 1 || rep.Seed != 1 {
+		t.Fatalf("defaults not applied: %+v", rep)
+	}
+	if rep.MemoryBits != 8 {
+		t.Fatalf("memory bits = %d", rep.MemoryBits)
+	}
+}
+
+// TestServiceSelect exercises the selection endpoint shape: ranking,
+// budget filtering, and the best pick.
+func TestServiceSelect(t *testing.T) {
+	ctx := context.Background()
+	svc := newTinyService(t)
+	rep, err := svc.Select(ctx, anchor.SelectRequest{
+		Algo: "mc", Dims: []int{8, 16}, Precisions: []int{1, 32}, BudgetBits: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Candidates) != 4 {
+		t.Fatalf("candidates = %d, want 4", len(rep.Candidates))
+	}
+	for i := 1; i < len(rep.Candidates); i++ {
+		if rep.Candidates[i].Value < rep.Candidates[i-1].Value {
+			t.Fatal("candidates not sorted by value")
+		}
+	}
+	if rep.Best == nil {
+		t.Fatal("no best candidate")
+	}
+	if rep.Best.MemoryBits > 64 {
+		t.Fatalf("best violates budget: %+v", rep.Best)
+	}
+	if rep.Measure != "eigenspace-instability" {
+		t.Fatalf("default measure = %q", rep.Measure)
+	}
+
+	// A sweep whose dims exceed the configured ladder anchors EIS at the
+	// request's largest dimension (the paper's protocol), not the
+	// ladder's maximum.
+	rep2, err := svc.Select(ctx, anchor.SelectRequest{
+		Algo: "mc", Dims: []int{8, 24}, Precisions: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Candidates) != 2 {
+		t.Fatalf("ladder-exceeding select: %+v", rep2)
+	}
+}
