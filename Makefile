@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race serve-smoke bench bench-artifacts
+.PHONY: build test vet fmt docs race serve-smoke bench bench-artifacts
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,27 @@ vet:
 fmt:
 	gofmt -l .
 
-# Race-detector pass over the traffic-serving layer: the HTTP API and the
-# artifact store handle concurrent requests over shared state.
+# Documentation gate: every package must carry a package comment, and the
+# architecture + HTTP API documents must exist and be linked from the
+# README. CI fails when any of it goes missing.
+docs:
+	@missing=$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...); \
+	if [ -n "$$missing" ]; then \
+		echo "packages missing package comments:" >&2; \
+		echo "$$missing" >&2; \
+		exit 1; \
+	fi
+	@for doc in docs/ARCHITECTURE.md docs/HTTP_API.md; do \
+		test -f $$doc || { echo "missing $$doc" >&2; exit 1; }; \
+		grep -q "$$doc" README.md || { echo "README.md does not link $$doc" >&2; exit 1; }; \
+	done
+	@echo "docs ok"
+
+# Race-detector pass over the traffic-serving layer: the HTTP API, the
+# artifact store, and the query engine handle concurrent requests over
+# shared state.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/store/...
+	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/query/...
 
 # Boot the HTTP server against the small config and hit /v1/healthz.
 serve-smoke:
@@ -40,6 +57,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMulATB|BenchmarkMulABT|BenchmarkKNNMeasure|BenchmarkSVD|BenchmarkEigenspaceInstability|BenchmarkPIPLoss|BenchmarkSemanticDisplacement|BenchmarkQuantize' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkKNNMeasureReference3000' -benchtime 1x ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkTrainLinearBOW|BenchmarkNERTrain|BenchmarkGridCell' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkNeighborsServe' -benchtime 3x ./internal/query
 
 # Full paper-artifact regeneration benchmarks (slow; trains the grid).
 bench-artifacts:

@@ -1,7 +1,8 @@
 // Command anchor is the CLI for the anchor library: train embedding
 // snapshot pairs, compress them, compute embedding distance measures,
-// measure end-to-end downstream instability, and serve it all over HTTP.
-// Every subcommand runs on the context-aware Service API, so trained
+// measure end-to-end downstream instability, query trained snapshots, and
+// serve it all over HTTP. Every subcommand except measure (which works on
+// saved .gob files) runs on the context-aware Service API, so trained
 // embeddings are cached in the artifact store (pass -cache-dir to make
 // the cache survive across invocations and share it with `anchor serve`).
 //
@@ -11,6 +12,7 @@
 //	anchor measure   -a emb17.gob -b emb18.gob -bits 4 -top 300
 //	anchor stability -algo mc -dim 32 -bits 4 -seed 1 -task sst2
 //	anchor select    -algo mc -dims 8,16,32 -bits 1,4,32 -budget 128
+//	anchor query     -algo mc -dim 32 -words fezadis,dovoles -k 5 -delta
 //	anchor experiment -id fig1 -config small
 //	anchor serve     -addr :8080 -config bench -cache-dir .anchor-cache
 package main
@@ -50,6 +52,8 @@ func main() {
 		err = cmdStability(ctx, os.Args[2:])
 	case "select":
 		err = cmdSelect(ctx, os.Args[2:])
+	case "query":
+		err = cmdQuery(ctx, os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(ctx, os.Args[2:])
 	case "serve":
@@ -75,8 +79,9 @@ commands:
   measure     compute all embedding distance measures between two embeddings
   stability   end-to-end downstream instability for one configuration
   select      rank a dim x precision grid by a measure under a memory budget
+  query       query a trained snapshot: vectors, nearest neighbors, neighbor delta
   experiment  reproduce a paper table/figure by id (see cmd/experiments for the full runner)
-  serve       serve the API over HTTP (/v1/train, /v1/measures, /v1/stability, /v1/select)`)
+  serve       serve the API over HTTP (see docs/HTTP_API.md for the /v1 endpoints)`)
 }
 
 // serviceFlags are the flags shared by every Service-backed subcommand.
@@ -276,6 +281,81 @@ func cmdSelect(ctx context.Context, args []string) error {
 		fmt.Println("no candidate satisfies the budget")
 	}
 	return nil
+}
+
+func cmdQuery(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	algo := fs.String("algo", "mc", "embedding algorithm")
+	dim := fs.Int("dim", 32, "embedding dimension")
+	seed := fs.Int64("seed", 1, "training seed")
+	year := fs.Int("year", 2017, "corpus snapshot year (2017 or 2018; ignored by -delta)")
+	wordsFlag := fs.String("words", "", "comma-separated query words (required)")
+	k := fs.Int("k", 5, "neighborhood size")
+	vectors := fs.Bool("vectors", false, "print raw vectors instead of neighbors")
+	delta := fs.Bool("delta", false, "compare neighbors between Wiki'17 and Wiki'18 (the paper's instability probe)")
+	sf := addServiceFlags(fs, "bench")
+	fs.Parse(args)
+
+	var words []string
+	for _, part := range strings.Split(*wordsFlag, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			words = append(words, part)
+		}
+	}
+	if len(words) == 0 {
+		return fmt.Errorf("query requires -words")
+	}
+	svc, err := sf.newService()
+	if err != nil {
+		return err
+	}
+	opts := []anchor.QueryOption{anchor.QueryYear(*year), anchor.QueryK(*k), anchor.QuerySeed(*seed)}
+	switch {
+	case *vectors:
+		rep, err := svc.Query(ctx, *algo, *dim, words, opts...)
+		if err != nil {
+			return err
+		}
+		for _, v := range rep.Vectors {
+			fmt.Printf("%-16s id=%-6d %v\n", v.Word, v.ID, v.Vector)
+		}
+	case *delta:
+		rep, err := svc.NeighborDelta(ctx, *algo, *dim, words, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("neighbor overlap wiki17 vs wiki18, %s d=%d k=%d seed=%d:\n", rep.Algo, rep.Dim, rep.K, rep.Seed)
+		for _, d := range rep.Results {
+			fmt.Printf("  %-16s overlap=%.2f  '17: %s\n  %-16s               '18: %s\n",
+				d.Word, d.Overlap, neighborWords(d.A), "", neighborWords(d.B))
+		}
+		fmt.Printf("mean overlap: %.3f (1 = stable neighborhoods, 0 = fully replaced)\n", rep.MeanOverlap)
+	default:
+		rep, err := svc.Neighbors(ctx, *algo, *dim, words, opts...)
+		if err != nil {
+			return err
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("%-16s ", r.Word)
+			for i, n := range r.Neighbors {
+				if i > 0 {
+					fmt.Print("  ")
+				}
+				fmt.Printf("%s(%.3f)", n.Word, n.Score)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// neighborWords renders a neighbor list as a compact word string.
+func neighborWords(ns []anchor.Neighbor) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = n.Word
+	}
+	return strings.Join(parts, " ")
 }
 
 func cmdExperiment(ctx context.Context, args []string) error {

@@ -49,10 +49,13 @@ func sampleIndices(rng *rand.Rand, n, q int) []int {
 	return out
 }
 
-// normalizedRows returns a copy of e's vectors with every row scaled to
+// NormalizedRows returns a copy of e's vectors with every row scaled to
 // unit L2 norm (zero rows stay zero, matching CosineSim's convention),
-// normalizing each row exactly once.
-func normalizedRows(e *embedding.Embedding, workers int) *matrix.Dense {
+// normalizing each row exactly once. This is the query-ready form shared
+// by the k-NN measure and the serving-path query engine: cosine
+// similarities against it are plain dot products, computable in blocks
+// with the MulABT kernel.
+func NormalizedRows(e *embedding.Embedding, workers int) *matrix.Dense {
 	n, d := e.Rows(), e.Dim()
 	out := matrix.NewDense(n, d)
 	w := parallel.Workers(workers)
@@ -158,12 +161,32 @@ func (h *topKHeap) topK(sims []float64, self int, k int, out []int32) []int32 {
 	return out
 }
 
+// TopKSelector selects the best-ranked k candidates from a row of
+// similarities with the bounded-heap kernel, reusing its internal scratch
+// across calls. The zero value is ready to use; a selector is not safe
+// for concurrent use (hold one per goroutine).
+type TopKSelector struct {
+	h topKHeap
+}
+
+// Select writes the indices of the k best-ranked candidates in sims
+// (excluding index self) into out, ordered by similarity descending with
+// index-ascending tie-breaks, and returns the filled prefix of out.
+func (s *TopKSelector) Select(sims []float64, self, k int, out []int32) []int32 {
+	return s.h.topK(sims, self, k, out)
+}
+
+// Overlap returns the shared-element count between two neighbor lists —
+// the paper's k-NN instability numerator. k is small, so the quadratic
+// scan beats building a set.
+func Overlap(a, b []int32) int { return knnOverlap(a, b) }
+
 // neighborSets returns, for each query, the indices of the k rows of e
 // most cosine-similar to it (excluding the query itself), each list
 // ordered by similarity descending with index-ascending tie-breaks.
 func neighborSets(e *embedding.Embedding, queries []int, k, workers int) [][]int32 {
 	n := e.Rows()
-	norm := normalizedRows(e, workers)
+	norm := NormalizedRows(e, workers)
 	out := make([][]int32, len(queries))
 
 	type scratch struct {

@@ -1,0 +1,567 @@
+// Package query is the read-path serving engine: it answers vector
+// lookups, nearest-neighbor queries, and cross-snapshot neighbor-overlap
+// queries over trained embedding snapshots at interactive latency.
+//
+// The paper's framing is that what users observe downstream of an
+// embedding retrain are *queries* whose answers drift: a word's vector
+// moves, and with it the word's nearest neighbors (Wendlandt et al.'s
+// nearest-neighbor overlap is exactly this drift, and the k-NN measure in
+// internal/core uses it as the downstream-instability proxy). This
+// package makes those observations servable:
+//
+//   - Each snapshot (one Ref: algorithm, corpus year, dimension, seed) is
+//     resolved through a Source — in production the artifact store, so a
+//     warm store serves queries without retraining — and held query-ready:
+//     rows L2-normalized once (cosine becomes a dot product) plus a
+//     word → row index. Query-ready snapshots live in a byte-budgeted LRU.
+//   - Nearest-neighbor queries run through the blocked MulABT kernel and
+//     the bounded-heap top-k selector from internal/core. Concurrent
+//     singleton queries against the same snapshot are micro-batched: the
+//     first arrival opens a short gather window, later arrivals join the
+//     batch, and the whole batch is scored as one query-block matrix
+//     product. Because every similarity is an independent single-
+//     accumulator dot product, each query's answer is bitwise identical
+//     whether it ran alone or in any batch, for any worker count.
+//   - NeighborDelta answers the paper's instability question directly:
+//     the overlap between a word's top-k neighbors in two snapshots.
+package query
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anchor/internal/core"
+	"anchor/internal/embedding"
+	"anchor/internal/matrix"
+)
+
+// Ref identifies one queryable embedding snapshot by provenance.
+type Ref struct {
+	// Algo is the training algorithm name ("cbow", "glove", ...).
+	Algo string
+	// Year selects the corpus snapshot (2017 or 2018).
+	Year int
+	// Dim is the embedding dimension.
+	Dim int
+	// Seed is the training seed.
+	Seed int64
+}
+
+// String renders the ref as a stable identifier.
+func (r Ref) String() string {
+	return fmt.Sprintf("%s-wiki%d-d%d-s%d", r.Algo, r.Year%100, r.Dim, r.Seed)
+}
+
+// Source resolves a Ref to its embedding. The production source is the
+// service's artifact store (train on miss, cached thereafter); tests use
+// in-memory fixtures. The returned embedding is treated as read-only.
+type Source func(ctx context.Context, ref Ref) (*embedding.Embedding, error)
+
+// UnknownWordError reports a query for a word outside a snapshot's
+// vocabulary. The serve layer maps it to HTTP 404.
+type UnknownWordError struct {
+	Word string
+	Ref  Ref
+}
+
+// Error implements error.
+func (e *UnknownWordError) Error() string {
+	return fmt.Sprintf("query: word %q not in vocabulary of %s", e.Word, e.Ref)
+}
+
+// Neighbor is one entry of a nearest-neighbor answer.
+type Neighbor struct {
+	// Word is the neighbor's surface form ("" when the snapshot has no
+	// vocabulary strings).
+	Word string `json:"word"`
+	// ID is the neighbor's vocabulary row id.
+	ID int `json:"id"`
+	// Score is the cosine similarity to the query word.
+	Score float64 `json:"score"`
+}
+
+// Stats counts engine traffic. Counters are cumulative and safe to read
+// concurrently.
+type Stats struct {
+	// SnapshotHits counts queries served from an already-resident
+	// query-ready snapshot.
+	SnapshotHits int64
+	// SnapshotLoads counts snapshots pulled through the Source and
+	// normalized.
+	SnapshotLoads int64
+	// Evictions counts snapshots dropped by the byte budget.
+	Evictions int64
+	// Batches counts executed query blocks (micro-batched or singleton).
+	Batches int64
+	// BatchedQueries counts neighbor queries answered; BatchedQueries /
+	// Batches is the achieved coalescing factor.
+	BatchedQueries int64
+}
+
+// Engine serves vector, neighbor, and neighbor-delta queries over
+// embedding snapshots. It is safe for concurrent use; construct with New.
+type Engine struct {
+	src      Source
+	budget   int64
+	window   time.Duration
+	maxBatch int
+	workers  int
+
+	mu     sync.Mutex
+	items  map[Ref]*list.Element
+	lru    *list.List // front = most recently used
+	bytes  int64
+	flight map[Ref]*snapFlight
+
+	hits, loads, evictions, batches, batchedQueries atomic.Int64
+}
+
+// Option configures New.
+type Option func(*Engine)
+
+// WithBudget bounds the total bytes of resident query-ready snapshots —
+// each one's normalized matrix, pinned raw embedding, and word index —
+// evicting the least recently used beyond it (<= 0 = unbounded). The
+// most recently used snapshot is always kept, so a single snapshot
+// larger than the budget still serves.
+func WithBudget(bytes int64) Option {
+	return func(e *Engine) { e.budget = bytes }
+}
+
+// WithWindow sets the micro-batching gather window: how long the first
+// concurrent neighbor query against a snapshot waits for company before
+// the batch is scored. 0 disables gathering — every query is scored as a
+// singleton block. Answers are bitwise identical either way; the window
+// trades a bounded latency floor for shared matrix-product bandwidth.
+func WithWindow(d time.Duration) Option {
+	return func(e *Engine) { e.window = d }
+}
+
+// WithMaxBatch caps how many queries one gather window may coalesce
+// (default 128, the k-NN engine's block size). A full batch fires
+// immediately instead of waiting out the window.
+func WithMaxBatch(n int) Option {
+	return func(e *Engine) { e.maxBatch = n }
+}
+
+// WithWorkers bounds the goroutines used per query-block matrix product
+// and snapshot normalization (<= 0 selects all CPUs). Answers are bitwise
+// identical for every value.
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// New returns an Engine drawing snapshots from src.
+func New(src Source, opts ...Option) *Engine {
+	e := &Engine{
+		src:      src,
+		budget:   256 << 20,
+		window:   200 * time.Microsecond,
+		maxBatch: 128,
+		items:    map[Ref]*list.Element{},
+		lru:      list.New(),
+		flight:   map[Ref]*snapFlight{},
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.maxBatch < 1 {
+		e.maxBatch = 1
+	}
+	return e
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		SnapshotHits:   e.hits.Load(),
+		SnapshotLoads:  e.loads.Load(),
+		Evictions:      e.evictions.Load(),
+		Batches:        e.batches.Load(),
+		BatchedQueries: e.batchedQueries.Load(),
+	}
+}
+
+// snapshot is one query-ready resident embedding: rows normalized to unit
+// L2 norm, plus the vocabulary index. raw is the store-shared original
+// (needed for vector lookups), read-only by contract.
+type snapshot struct {
+	ref   Ref
+	raw   *embedding.Embedding
+	norm  *matrix.Dense
+	index map[string]int
+	bytes int64
+
+	mu  sync.Mutex
+	cur *gather // open micro-batch, nil when none
+}
+
+// gather is one micro-batch being collected during a window.
+type gather struct {
+	reqs []*neighborReq
+	full chan struct{} // closed when the batch seals at maxBatch
+}
+
+type neighborReq struct {
+	id  int
+	k   int
+	out chan neighborAnswer // buffered; the computer never blocks
+}
+
+type neighborAnswer struct {
+	idxs []int32
+	sims []float64
+}
+
+type snapFlight struct {
+	done chan struct{}
+	snap *snapshot
+	err  error
+}
+
+// snapshot returns the query-ready snapshot for ref, loading and
+// normalizing it on a miss. Concurrent misses share one load.
+func (e *Engine) snapshot(ctx context.Context, ref Ref) (*snapshot, error) {
+	for {
+		e.mu.Lock()
+		if el, ok := e.items[ref]; ok {
+			e.lru.MoveToFront(el)
+			e.mu.Unlock()
+			e.hits.Add(1)
+			return el.Value.(*snapshot), nil
+		}
+		if fl, ok := e.flight[ref]; ok {
+			e.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if fl.err != nil && (errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded)) {
+				// The originating client hung up mid-load; its cancellation
+				// is not ours. Retry with our own context.
+				continue
+			}
+			return fl.snap, fl.err
+		}
+		fl := &snapFlight{done: make(chan struct{})}
+		e.flight[ref] = fl
+		e.mu.Unlock()
+
+		fl.snap, fl.err = e.load(ctx, ref)
+		e.mu.Lock()
+		delete(e.flight, ref)
+		if fl.err == nil {
+			e.insertLocked(fl.snap)
+		}
+		e.mu.Unlock()
+		close(fl.done)
+		return fl.snap, fl.err
+	}
+}
+
+// load pulls ref through the source and builds the query-ready form.
+func (e *Engine) load(ctx context.Context, ref Ref) (*snapshot, error) {
+	emb, err := e.src(ctx, ref)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.loads.Add(1)
+	s := &snapshot{
+		ref:  ref,
+		raw:  emb,
+		norm: core.NormalizedRows(emb, e.workers),
+	}
+	// Budget accounting covers everything the snapshot pins: the
+	// normalized matrix, the raw embedding (held for vector lookups even
+	// after the artifact store evicts it), and the word index (~one map
+	// entry plus string header per word).
+	s.bytes = 2 * int64(emb.Rows()) * int64(emb.Dim()) * 8
+	if emb.Words != nil {
+		s.index = make(map[string]int, len(emb.Words))
+		for id, w := range emb.Words {
+			s.index[w] = id
+			s.bytes += int64(len(w)) + 48
+		}
+	}
+	return s, nil
+}
+
+// insertLocked publishes a loaded snapshot and applies the byte budget.
+// Caller holds e.mu.
+func (e *Engine) insertLocked(s *snapshot) {
+	if el, ok := e.items[s.ref]; ok {
+		e.lru.MoveToFront(el)
+		return
+	}
+	e.items[s.ref] = e.lru.PushFront(s)
+	e.bytes += s.bytes
+	if e.budget <= 0 {
+		return
+	}
+	for e.bytes > e.budget && e.lru.Len() > 1 {
+		back := e.lru.Back()
+		old := back.Value.(*snapshot)
+		e.lru.Remove(back)
+		delete(e.items, old.ref)
+		e.bytes -= old.bytes
+		e.evictions.Add(1)
+	}
+}
+
+// resolve maps a word to its row id in the snapshot.
+func (s *snapshot) resolve(word string) (int, error) {
+	if id, ok := s.index[word]; ok {
+		return id, nil
+	}
+	return 0, &UnknownWordError{Word: word, Ref: s.ref}
+}
+
+// Words returns the vocabulary size of the snapshot under ref (loading it
+// if necessary).
+func (e *Engine) Words(ctx context.Context, ref Ref) (int, error) {
+	s, err := e.snapshot(ctx, ref)
+	if err != nil {
+		return 0, err
+	}
+	return s.raw.Rows(), nil
+}
+
+// Vector returns the word's row id and a copy of its (unnormalized)
+// embedding vector in the snapshot under ref.
+func (e *Engine) Vector(ctx context.Context, ref Ref, word string) (int, []float64, error) {
+	s, err := e.snapshot(ctx, ref)
+	if err != nil {
+		return 0, nil, err
+	}
+	id, err := s.resolve(word)
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, append([]float64(nil), s.raw.Vector(id)...), nil
+}
+
+// Neighbors returns the word's k nearest neighbors by cosine similarity
+// in the snapshot under ref, excluding the word itself, ordered by
+// similarity descending with id-ascending tie-breaks. The query may be
+// coalesced with concurrent Neighbors calls into one query-block matrix
+// product; the answer is bitwise identical either way.
+func (e *Engine) Neighbors(ctx context.Context, ref Ref, word string, k int) ([]Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("query: k must be positive, got %d", k)
+	}
+	s, err := e.snapshot(ctx, ref)
+	if err != nil {
+		return nil, err
+	}
+	id, err := s.resolve(word)
+	if err != nil {
+		return nil, err
+	}
+	ans, err := e.enqueue(ctx, s, id, k)
+	if err != nil {
+		return nil, err
+	}
+	return s.neighbors(ans), nil
+}
+
+// NeighborsBatch answers one multi-word neighbors request as a single
+// query block: no gather window, one matrix product for all words.
+func (e *Engine) NeighborsBatch(ctx context.Context, ref Ref, words []string, k int) ([][]Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("query: k must be positive, got %d", k)
+	}
+	s, err := e.snapshot(ctx, ref)
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]*neighborReq, len(words))
+	for i, w := range words {
+		id, err := s.resolve(w)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = &neighborReq{id: id, k: k, out: make(chan neighborAnswer, 1)}
+	}
+	out := make([][]Neighbor, len(reqs))
+	for lo := 0; lo < len(reqs); lo += e.maxBatch {
+		hi := lo + e.maxBatch
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		e.compute(s, reqs[lo:hi])
+		for i, r := range reqs[lo:hi] {
+			out[lo+i] = s.neighbors(<-r.out)
+		}
+	}
+	return out, nil
+}
+
+// neighbors renders a computed answer with vocabulary strings.
+func (s *snapshot) neighbors(ans neighborAnswer) []Neighbor {
+	ns := make([]Neighbor, len(ans.idxs))
+	for i, ix := range ans.idxs {
+		ns[i] = Neighbor{ID: int(ix), Score: ans.sims[i]}
+		if s.raw.Words != nil {
+			ns[i].Word = s.raw.Words[ix]
+		}
+	}
+	return ns
+}
+
+// enqueue submits one singleton neighbor query, micro-batching it with
+// concurrent queries against the same snapshot. The first arrival becomes
+// the batch leader: it opens the gather window, waits it out (or until
+// the batch is full), seals the batch, and scores it for everyone.
+func (e *Engine) enqueue(ctx context.Context, s *snapshot, id, k int) (neighborAnswer, error) {
+	req := &neighborReq{id: id, k: k, out: make(chan neighborAnswer, 1)}
+	if e.window <= 0 {
+		e.compute(s, []*neighborReq{req})
+		return <-req.out, nil
+	}
+
+	s.mu.Lock()
+	leader := s.cur == nil
+	if leader {
+		s.cur = &gather{full: make(chan struct{})}
+	}
+	b := s.cur
+	b.reqs = append(b.reqs, req)
+	if len(b.reqs) >= e.maxBatch {
+		// Seal at capacity: detach so the next arrival opens a fresh
+		// batch, and wake the leader early.
+		s.cur = nil
+		close(b.full)
+	}
+	s.mu.Unlock()
+
+	if leader {
+		timer := time.NewTimer(e.window)
+		select {
+		case <-timer.C:
+		case <-b.full:
+			timer.Stop()
+		}
+		s.mu.Lock()
+		if s.cur == b { // sealed by timeout, not capacity
+			s.cur = nil
+		}
+		reqs := b.reqs
+		s.mu.Unlock()
+		// The leader computes for the whole batch even if its own client
+		// hung up: followers are waiting on it.
+		e.compute(s, reqs)
+	}
+
+	select {
+	case ans := <-req.out:
+		return ans, nil
+	case <-ctx.Done():
+		return neighborAnswer{}, ctx.Err()
+	}
+}
+
+// computeScratch pools the per-batch query and similarity blocks.
+var computeScratch = sync.Pool{New: func() any { return &batchScratch{} }}
+
+type batchScratch struct {
+	qb, sb []float64
+	sel    core.TopKSelector
+}
+
+func (sc *batchScratch) blocks(q, d, n int) (qb, sb *matrix.Dense) {
+	if cap(sc.qb) < q*d {
+		sc.qb = make([]float64, q*d)
+	}
+	if cap(sc.sb) < q*n {
+		sc.sb = make([]float64, q*n)
+	}
+	return matrix.NewDenseData(q, d, sc.qb[:q*d]), matrix.NewDenseData(q, n, sc.sb[:q*n])
+}
+
+// compute scores one batch of neighbor queries as a single query-block
+// product against the snapshot's normalized matrix and delivers each
+// query's top-k. Every similarity is an independent single-accumulator
+// dot product, so each answer is bitwise independent of the batch
+// composition and the worker count.
+func (e *Engine) compute(s *snapshot, reqs []*neighborReq) {
+	e.batches.Add(1)
+	e.batchedQueries.Add(int64(len(reqs)))
+	n, d := s.norm.Rows, s.norm.Cols
+	sc := computeScratch.Get().(*batchScratch)
+	defer computeScratch.Put(sc)
+	qb, sb := sc.blocks(len(reqs), d, n)
+	for i, r := range reqs {
+		copy(qb.Row(i), s.norm.Row(r.id))
+	}
+	matrix.MulABTInto(sb, qb, s.norm, e.workers)
+	for i, r := range reqs {
+		sims := sb.Row(i)
+		idxs := sc.sel.Select(sims, r.id, r.k, make([]int32, min(r.k, n)))
+		scores := make([]float64, len(idxs))
+		for j, ix := range idxs {
+			scores[j] = sims[ix]
+		}
+		r.out <- neighborAnswer{idxs: idxs, sims: scores}
+	}
+}
+
+// Delta is one word's neighbor-overlap comparison between two snapshots —
+// the paper's downstream-instability proxy (Wendlandt et al. 2018's
+// nearest-neighbor overlap) as a query answer.
+type Delta struct {
+	// Word is the query word.
+	Word string `json:"word"`
+	// Overlap is |N_A(w) ∩ N_B(w)| / k in [0, 1]: 1 = the word's
+	// neighborhood survived the retrain, 0 = completely replaced.
+	Overlap float64 `json:"overlap"`
+	// Shared counts the common neighbors.
+	Shared int `json:"shared"`
+	// A and B are the word's top-k neighbor lists in the two snapshots.
+	A []Neighbor `json:"a"`
+	B []Neighbor `json:"b"`
+}
+
+// NeighborDelta compares each word's top-k neighbor sets between the
+// snapshots under refA and refB. Cosine neighbor sets are invariant under
+// orthogonal alignment, so the comparison needs no Procrustes step: the
+// overlap is a pure function of the two trained snapshots.
+func (e *Engine) NeighborDelta(ctx context.Context, refA, refB Ref, words []string, k int) ([]Delta, error) {
+	na, err := e.NeighborsBatch(ctx, refA, words, k)
+	if err != nil {
+		return nil, err
+	}
+	nb, err := e.NeighborsBatch(ctx, refB, words, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Delta, len(words))
+	for i, w := range words {
+		ia := make([]int32, len(na[i]))
+		for j, nbr := range na[i] {
+			ia[j] = int32(nbr.ID)
+		}
+		ib := make([]int32, len(nb[i]))
+		for j, nbr := range nb[i] {
+			ib[j] = int32(nbr.ID)
+		}
+		shared := core.Overlap(ia, ib)
+		d := Delta{Word: w, Shared: shared, A: na[i], B: nb[i]}
+		if denom := len(ia); denom > 0 {
+			d.Overlap = float64(shared) / float64(denom)
+		}
+		out[i] = d
+	}
+	return out, nil
+}

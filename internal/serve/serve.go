@@ -4,24 +4,32 @@
 // stability queries cheaply from measures and the artifact store instead
 // of retraining downstream models.
 //
-// Endpoints (all under /v1, JSON in/out):
+// Endpoints (all under /v1, JSON in/out; see docs/HTTP_API.md for the
+// full request/response reference):
 //
-//	GET  /v1/healthz    liveness + registry and store stats
-//	POST /v1/train      train (or fetch) one embedding snapshot
-//	POST /v1/measures   every distance measure at one grid cell
-//	POST /v1/stability  true downstream disagreement for one cell
-//	POST /v1/select     rank a dim x precision grid under a memory budget
+//	GET  /v1/healthz          liveness + registry, store, and query stats
+//	GET  /v1/vectors          word vector lookup in one snapshot
+//	POST /v1/neighbors        k nearest neighbors in one snapshot
+//	POST /v1/neighbors/delta  neighbor overlap between the two snapshots
+//	POST /v1/train            train (or fetch) one embedding snapshot
+//	POST /v1/measures         every distance measure at one grid cell
+//	POST /v1/stability        true downstream disagreement for one cell
+//	POST /v1/select           rank a dim x precision grid under a budget
 //
 // Requests are handled concurrently over one shared Service; the artifact
 // store's singleflight guarantees concurrent identical queries train at
 // most once, and determinism guarantees responses are bitwise identical
-// to the library path for any worker count. Each request is scoped to its
-// connection's context, so a dropped client cancels its computation at
-// the next stage boundary (reported as 499 in logs, nginx-style).
+// to the library path for any worker count. Concurrent /v1/neighbors
+// requests against the same snapshot are additionally micro-batched into
+// shared matrix products without changing any response's bits. Each
+// request is scoped to its connection's context, so a dropped client
+// cancels its computation at the next stage boundary (reported as 499 in
+// logs, nginx-style).
 //
 // Errors are structured: {"error": {"code": "...", "message": "..."}}
 // with 400 for malformed or unknown-name requests, 404 for unknown
-// routes, 405 for wrong methods, and 500 for internal failures.
+// routes and out-of-vocabulary words, 405 for wrong methods, and 500 for
+// internal failures.
 package serve
 
 import (
@@ -31,6 +39,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"anchor"
 )
@@ -54,6 +64,9 @@ func New(svc *anchor.Service, logger *log.Logger) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/vectors", s.handleVectors)
+	mux.HandleFunc("/v1/neighbors", s.handleNeighbors)
+	mux.HandleFunc("/v1/neighbors/delta", s.handleNeighborDelta)
 	mux.HandleFunc("/v1/train", s.handleTrain)
 	mux.HandleFunc("/v1/measures", s.handleMeasures)
 	mux.HandleFunc("/v1/stability", s.handleStability)
@@ -62,7 +75,7 @@ func (s *Server) Handler() http.Handler {
 	// plain-text default.
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "not_found",
-			fmt.Sprintf("no route %s (have /v1/healthz, /v1/train, /v1/measures, /v1/stability, /v1/select)", r.URL.Path))
+			fmt.Sprintf("no route %s (see docs/HTTP_API.md for the /v1 endpoints)", r.URL.Path))
 	})
 	return mux
 }
@@ -97,15 +110,21 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, message str
 }
 
 // fail maps a service error onto the structured error space: unknown
-// names and invalid parameters are the client's fault (400), a canceled
-// request context is the client hanging up (499, nginx convention), and
-// everything else is ours (500).
+// names and invalid parameters are the client's fault (400), a word
+// missing from a snapshot's vocabulary is an absent resource (404), a
+// canceled request context is the client hanging up (499, nginx
+// convention), and everything else is ours (500).
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	var unk *anchor.UnknownNameError
 	var inv *anchor.InvalidRequestError
+	var uw *anchor.UnknownWordError
 	switch {
 	case errors.As(err, &unk):
 		s.writeError(w, http.StatusBadRequest, "unknown_"+unk.Kind, unk.Error())
+	case errors.As(err, &uw):
+		// The request is well-formed; the word just does not exist in the
+		// snapshot's vocabulary.
+		s.writeError(w, http.StatusNotFound, "unknown_word", uw.Error())
 	case errors.As(err, &inv):
 		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -152,6 +171,13 @@ type healthzResponse struct {
 		Computes  int64 `json:"computes"`
 		Evictions int64 `json:"evictions"`
 	} `json:"store"`
+	Query struct {
+		SnapshotHits   int64 `json:"snapshot_hits"`
+		SnapshotLoads  int64 `json:"snapshot_loads"`
+		Evictions      int64 `json:"evictions"`
+		Batches        int64 `json:"batches"`
+		BatchedQueries int64 `json:"batched_queries"`
+	} `json:"query"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -169,6 +195,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp.Store.DiskHits = st.DiskHits
 	resp.Store.Computes = st.Computes
 	resp.Store.Evictions = st.Evictions
+	qs := s.svc.QueryStats()
+	resp.Query.SnapshotHits = qs.SnapshotHits
+	resp.Query.SnapshotLoads = qs.SnapshotLoads
+	resp.Query.Evictions = qs.Evictions
+	resp.Query.Batches = qs.Batches
+	resp.Query.BatchedQueries = qs.BatchedQueries
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -265,6 +297,123 @@ func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rep, err := s.svc.Stability(r.Context(), req.Algo, req.Task, req.Dim, req.Bits, req.Seed)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// queryOptions assembles the Service query options shared by the read
+// path handlers. Zero values select the service defaults.
+func queryOptions(year, k int, seed int64) []anchor.QueryOption {
+	var opts []anchor.QueryOption
+	if year != 0 {
+		opts = append(opts, anchor.QueryYear(year))
+	}
+	if k != 0 {
+		opts = append(opts, anchor.QueryK(k))
+	}
+	if seed != 0 {
+		opts = append(opts, anchor.QuerySeed(seed))
+	}
+	return opts
+}
+
+// handleVectors is GET /v1/vectors: word vector lookup in one snapshot.
+// Parameters come from the query string (it is a read), words
+// comma-separated: /v1/vectors?algo=cbow&dim=64&words=king,queen.
+func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	q := r.URL.Query()
+	var year, dim int
+	var seed int64
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"year", &year}, {"dim", &dim}} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "invalid_request",
+					fmt.Sprintf("bad %s %q", p.name, v))
+				return
+			}
+			*p.dst = n
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "invalid_request", fmt.Sprintf("bad seed %q", v))
+			return
+		}
+		seed = n
+	}
+	var words []string
+	for _, part := range strings.Split(q.Get("words"), ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			words = append(words, part)
+		}
+	}
+	rep, err := s.svc.Query(r.Context(), q.Get("algo"), dim, words, queryOptions(year, 0, seed)...)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// neighborsRequest asks for nearest neighbors in one snapshot.
+type neighborsRequest struct {
+	Algo  string   `json:"algo"`
+	Words []string `json:"words"`
+	Dim   int      `json:"dim"`
+	K     int      `json:"k"`
+	Year  int      `json:"year"`
+	Seed  int64    `json:"seed"`
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req neighborsRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	rep, err := s.svc.Neighbors(r.Context(), req.Algo, req.Dim, req.Words,
+		queryOptions(req.Year, req.K, req.Seed)...)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// neighborDeltaRequest asks for neighbor overlap between the snapshots.
+type neighborDeltaRequest struct {
+	Algo  string   `json:"algo"`
+	Words []string `json:"words"`
+	Dim   int      `json:"dim"`
+	K     int      `json:"k"`
+	Seed  int64    `json:"seed"`
+}
+
+func (s *Server) handleNeighborDelta(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req neighborDeltaRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	rep, err := s.svc.NeighborDelta(r.Context(), req.Algo, req.Dim, req.Words,
+		queryOptions(0, req.K, req.Seed)...)
 	if err != nil {
 		s.fail(w, r, err)
 		return

@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"anchor"
 )
@@ -347,5 +349,214 @@ func TestUnknownRouteAndMethod(t *testing.T) {
 	}
 	if rr := do(t, h, http.MethodGet, "/v1/measures", "", nil); rr.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("GET measures = %d, want 405", rr.Code)
+	}
+}
+
+// queryWords returns real vocabulary words from the tiny config's corpus
+// by training the smallest snapshot once (served from the store for every
+// later request in the same test).
+func queryWords(t *testing.T, svc *anchor.Service, n int) []string {
+	t.Helper()
+	e, err := svc.Train(context.Background(), "mc", 2017, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Words) < n {
+		t.Fatalf("vocab too small: %d < %d", len(e.Words), n)
+	}
+	words := make([]string, n)
+	for i := range words {
+		words[i] = e.Words[(i*17)%len(e.Words)]
+	}
+	return words
+}
+
+func TestVectorsEndpoint(t *testing.T) {
+	srv, svc := newTestServer(t)
+	h := srv.Handler()
+	words := queryWords(t, svc, 2)
+	var resp anchor.VectorsReport
+	rr := do(t, h, http.MethodGet,
+		"/v1/vectors?algo=mc&dim=8&year=2017&seed=1&words="+words[0]+","+words[1], "", &resp)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("vectors: %d %s", rr.Code, rr.Body.String())
+	}
+	if len(resp.Vectors) != 2 || len(resp.Vectors[0].Vector) != 8 {
+		t.Fatalf("vectors response: %+v", resp)
+	}
+	// The served vector must be bitwise the trained embedding's row.
+	e, err := svc.Train(context.Background(), "mc", 2017, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range resp.Vectors {
+		for j, x := range v.Vector {
+			if x != e.Vector(v.ID)[j] {
+				t.Fatalf("vector %s differs from trained row", v.Word)
+			}
+		}
+	}
+
+	// Out-of-vocabulary word -> 404 with the structured envelope.
+	rr = do(t, h, http.MethodGet, "/v1/vectors?algo=mc&dim=8&words=notaword", "", nil)
+	if rr.Code != http.StatusNotFound || errCode(t, rr) != "unknown_word" {
+		t.Fatalf("unknown word: %d %s", rr.Code, rr.Body.String())
+	}
+	// Unknown algorithm stays 400.
+	rr = do(t, h, http.MethodGet, "/v1/vectors?algo=elmo&dim=8&words="+words[0], "", nil)
+	if rr.Code != http.StatusBadRequest || errCode(t, rr) != "unknown_algorithm" {
+		t.Fatalf("unknown algo: %d %s", rr.Code, rr.Body.String())
+	}
+	// Malformed numbers -> 400.
+	rr = do(t, h, http.MethodGet, "/v1/vectors?algo=mc&dim=eight&words="+words[0], "", nil)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad dim: %d", rr.Code)
+	}
+	// Missing words -> 400.
+	rr = do(t, h, http.MethodGet, "/v1/vectors?algo=mc&dim=8", "", nil)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("no words: %d", rr.Code)
+	}
+	if rr := do(t, h, http.MethodPost, "/v1/vectors", "", nil); rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST vectors = %d, want 405", rr.Code)
+	}
+}
+
+// TestNeighborsEndpointBitwise is the read-path acceptance criterion:
+// POST /v1/neighbors returns bitwise-identical neighbor lists for
+// workers=1 vs workers=N and for singleton vs micro-batched execution,
+// exercised with concurrent requests over a real listener (and under
+// -race in CI).
+func TestNeighborsEndpointBitwise(t *testing.T) {
+	// Reference: one worker, micro-batching disabled — every query is a
+	// singleton block.
+	refSrv, refSvc := newTestServer(t, anchor.WithWorkers(1), anchor.WithQueryWindow(0))
+	words := queryWords(t, refSvc, 12)
+	refH := refSrv.Handler()
+
+	body := func(word string) string {
+		return fmt.Sprintf(`{"algo":"mc","words":[%q],"dim":8,"k":5,"year":2017,"seed":1}`, word)
+	}
+	want := map[string][]byte{}
+	for _, w := range words {
+		rr := do(t, refH, http.MethodPost, "/v1/neighbors", body(w), nil)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("reference %s: %d %s", w, rr.Code, rr.Body.String())
+		}
+		want[w] = append([]byte(nil), rr.Body.Bytes()...)
+	}
+
+	// Subject: many workers, a wide-open gather window so the concurrent
+	// burst below actually coalesces.
+	srv, svc := newTestServer(t, anchor.WithWorkers(4), anchor.WithQueryWindow(2*time.Millisecond))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	type result struct {
+		word string
+		body []byte
+	}
+	results := make(chan result, rounds*len(words))
+	errs := make(chan error, rounds*len(words))
+	for r := 0; r < rounds; r++ {
+		for _, w := range words {
+			wg.Add(1)
+			go func(w string) {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/v1/neighbors", "application/json", strings.NewReader(body(w)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				b, err := io.ReadAll(resp.Body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d: %s", w, resp.StatusCode, b)
+					return
+				}
+				results <- result{w, b}
+			}(w)
+		}
+	}
+	wg.Wait()
+	close(results)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	got := 0
+	for res := range results {
+		got++
+		if !bytes.Equal(res.body, want[res.word]) {
+			t.Fatalf("word %s: batched workers=4 response differs from singleton workers=1:\n%s\nvs\n%s",
+				res.word, res.body, want[res.word])
+		}
+	}
+	if got != rounds*len(words) {
+		t.Fatalf("got %d results, want %d", got, rounds*len(words))
+	}
+	// The burst must actually have been micro-batched (fewer matrix
+	// products than queries).
+	if st := svc.QueryStats(); st.Batches >= st.BatchedQueries {
+		t.Fatalf("no coalescing happened: %d batches for %d queries", st.Batches, st.BatchedQueries)
+	}
+
+	// Multi-word requests answer as one block, bitwise equal again.
+	multi := fmt.Sprintf(`{"algo":"mc","words":[%q,%q],"dim":8,"k":5,"year":2017,"seed":1}`, words[0], words[1])
+	var multiResp, refMulti anchor.NeighborsReport
+	if rr := do(t, srv.Handler(), http.MethodPost, "/v1/neighbors", multi, &multiResp); rr.Code != http.StatusOK {
+		t.Fatalf("multi: %d %s", rr.Code, rr.Body.String())
+	}
+	if rr := do(t, refH, http.MethodPost, "/v1/neighbors", multi, &refMulti); rr.Code != http.StatusOK {
+		t.Fatalf("ref multi: %d %s", rr.Code, rr.Body.String())
+	}
+	if !reflect.DeepEqual(multiResp, refMulti) {
+		t.Fatalf("multi-word response differs:\n%+v\nvs\n%+v", multiResp, refMulti)
+	}
+}
+
+func TestNeighborDeltaEndpoint(t *testing.T) {
+	srv, svc := newTestServer(t)
+	h := srv.Handler()
+	words := queryWords(t, svc, 3)
+	body := fmt.Sprintf(`{"algo":"mc","words":[%q,%q,%q],"dim":8,"k":5,"seed":1}`, words[0], words[1], words[2])
+	var resp anchor.NeighborDeltaReport
+	rr := do(t, h, http.MethodPost, "/v1/neighbors/delta", body, &resp)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("delta: %d %s", rr.Code, rr.Body.String())
+	}
+	if len(resp.Results) != 3 || resp.K != 5 {
+		t.Fatalf("delta response: %+v", resp)
+	}
+	mean := 0.0
+	for i, d := range resp.Results {
+		if d.Word != words[i] {
+			t.Fatalf("delta %d word %q, want %q", i, d.Word, words[i])
+		}
+		if len(d.A) != 5 || len(d.B) != 5 {
+			t.Fatalf("delta %s lists %d/%d, want 5/5", d.Word, len(d.A), len(d.B))
+		}
+		if d.Overlap < 0 || d.Overlap > 1 {
+			t.Fatalf("delta %s overlap %v out of range", d.Word, d.Overlap)
+		}
+		mean += d.Overlap
+	}
+	if want := mean / 3; resp.MeanOverlap != want {
+		t.Fatalf("mean overlap %v, want %v", resp.MeanOverlap, want)
+	}
+
+	rr = do(t, h, http.MethodPost, "/v1/neighbors/delta", `{"algo":"mc","words":["x"],"dim":8,"k":0,"seed":1}`, nil)
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("oov delta word: %d %s", rr.Code, rr.Body.String())
+	}
+	rr = do(t, h, http.MethodPost, "/v1/neighbors/delta", `{"algo":"mc","words":[],"dim":8}`, nil)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("empty words: %d", rr.Code)
 	}
 }

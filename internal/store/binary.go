@@ -1,0 +1,283 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"unsafe"
+
+	"anchor/internal/embedding"
+	"anchor/internal/matrix"
+)
+
+// Binary embedding artifact format ("ANCB"), the store's zero-copy fast
+// path. The gob tier decodes every float through reflection; this format
+// lays the vector matrix out as a raw little-endian row-major payload at a
+// 64-byte-aligned offset, so a load is one os.ReadFile (or mmap) plus a
+// header check — the payload bytes are reinterpreted in place as the
+// embedding's float64 storage with no per-row allocation and no copy.
+//
+// Layout (all integers little-endian):
+//
+//	[0:4)   magic "ANCB"
+//	[4:8)   format version (currently 1)
+//	[8:12)  element kind: 0 = float64, 1 = float32
+//	[12:16) Meta.Dim
+//	[16:24) rows
+//	[24:32) cols
+//	[32:40) Meta.Seed
+//	[40:44) Meta.Precision
+//	[44:48) len(algorithm string)
+//	[48:52) len(corpus string)
+//	[52:56) len(words blob)
+//	[56:64) payload offset (from file start, 64-byte aligned)
+//	[64:..) algorithm, corpus, words ("\n"-joined), zero padding
+//	[payload offset:) rows x cols elements, row-major
+//
+// Float64 payloads preserve bits exactly, so a binary load is bitwise
+// identical to the gob artifact it was written alongside. Float32 payloads
+// store float32(v) per element — lossless exactly when every value is
+// float32-representable (e.g. heavily quantized embeddings), at half the
+// bytes.
+
+// ElemKind selects the binary payload's element width.
+type ElemKind uint32
+
+const (
+	// Float64 stores each element as its exact float64 bits (lossless).
+	Float64 ElemKind = 0
+	// Float32 stores float32(v) per element: half the bytes, exact only
+	// for float32-representable values.
+	Float32 ElemKind = 1
+)
+
+const (
+	binMagic = "ANCB"
+	// BinaryVersion is the current binary artifact format version. Readers
+	// reject other versions: the format evolves by bumping it.
+	BinaryVersion = 1
+	binHeaderLen  = 64
+	binAlign      = 64
+)
+
+// BinaryExt is the file extension of binary artifacts in the disk tier.
+const BinaryExt = ".bin"
+
+// hostLittleEndian reports whether the host stores integers little-endian
+// (the only layout the zero-copy cast is valid for; big-endian hosts fall
+// back to element-wise decoding).
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func elemSize(kind ElemKind) int {
+	if kind == Float32 {
+		return 4
+	}
+	return 8
+}
+
+// wordsBlob joins the vocabulary into the on-disk blob. Words cannot
+// contain "\n" (the corpus tokenizer never produces one); an embedding
+// with no vocabulary stores an empty blob.
+func wordsBlob(words []string) []byte {
+	if len(words) == 0 {
+		return nil
+	}
+	return []byte(strings.Join(words, "\n"))
+}
+
+func splitWordsBlob(blob []byte) []string {
+	if len(blob) == 0 {
+		return nil
+	}
+	return strings.Split(string(blob), "\n")
+}
+
+// WriteBinary writes e to w in the binary artifact format with the given
+// payload element kind.
+func WriteBinary(w io.Writer, e *embedding.Embedding, kind ElemKind) error {
+	if kind != Float64 && kind != Float32 {
+		return fmt.Errorf("store: unknown element kind %d", kind)
+	}
+	algo, corp := []byte(e.Meta.Algorithm), []byte(e.Meta.Corpus)
+	words := wordsBlob(e.Words)
+	varLen := len(algo) + len(corp) + len(words)
+	payloadOff := (binHeaderLen + varLen + binAlign - 1) / binAlign * binAlign
+
+	var h [binHeaderLen]byte
+	copy(h[0:4], binMagic)
+	binary.LittleEndian.PutUint32(h[4:8], BinaryVersion)
+	binary.LittleEndian.PutUint32(h[8:12], uint32(kind))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(e.Meta.Dim))
+	binary.LittleEndian.PutUint64(h[16:24], uint64(e.Rows()))
+	binary.LittleEndian.PutUint64(h[24:32], uint64(e.Dim()))
+	binary.LittleEndian.PutUint64(h[32:40], uint64(e.Meta.Seed))
+	binary.LittleEndian.PutUint32(h[40:44], uint32(e.Meta.Precision))
+	binary.LittleEndian.PutUint32(h[44:48], uint32(len(algo)))
+	binary.LittleEndian.PutUint32(h[48:52], uint32(len(corp)))
+	binary.LittleEndian.PutUint32(h[52:56], uint32(len(words)))
+	binary.LittleEndian.PutUint64(h[56:64], uint64(payloadOff))
+
+	if _, err := w.Write(h[:]); err != nil {
+		return fmt.Errorf("store: write binary header: %w", err)
+	}
+	for _, b := range [][]byte{algo, corp, words, make([]byte, payloadOff-binHeaderLen-varLen)} {
+		if len(b) == 0 {
+			continue
+		}
+		if _, err := w.Write(b); err != nil {
+			return fmt.Errorf("store: write binary artifact: %w", err)
+		}
+	}
+	return writePayload(w, e.Vectors.Data, kind)
+}
+
+// writePayload streams the matrix data as little-endian elements. On
+// little-endian hosts the float64 payload is the matrix storage itself,
+// written in one call.
+func writePayload(w io.Writer, data []float64, kind ElemKind) error {
+	if kind == Float64 && hostLittleEndian && len(data) > 0 {
+		bytes := unsafe.Slice((*byte)(unsafe.Pointer(&data[0])), len(data)*8)
+		_, err := w.Write(bytes)
+		if err != nil {
+			return fmt.Errorf("store: write binary payload: %w", err)
+		}
+		return nil
+	}
+	const chunk = 16 * 1024
+	esz := elemSize(kind)
+	buf := make([]byte, chunk*esz)
+	for len(data) > 0 {
+		n := len(data)
+		if n > chunk {
+			n = chunk
+		}
+		for i, v := range data[:n] {
+			if kind == Float32 {
+				binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
+			} else {
+				binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+			}
+		}
+		if _, err := w.Write(buf[:n*esz]); err != nil {
+			return fmt.Errorf("store: write binary payload: %w", err)
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// DecodeBinary decodes a binary artifact from data. When the payload is
+// float64, the host is little-endian, and the payload offset lands
+// 8-byte-aligned in memory, the returned embedding's matrix aliases data
+// directly (zero copy) — the caller must keep data immutable and alive for
+// the embedding's lifetime (os.ReadFile allocations satisfy this; for
+// mmap, see MapBinaryFile). Other payloads decode through one bulk
+// allocation; nothing is allocated per row either way.
+func DecodeBinary(data []byte) (*embedding.Embedding, error) {
+	if len(data) < binHeaderLen {
+		return nil, fmt.Errorf("store: binary artifact truncated: %d bytes < %d-byte header", len(data), binHeaderLen)
+	}
+	if string(data[0:4]) != binMagic {
+		return nil, fmt.Errorf("store: not a binary artifact (magic %q)", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != BinaryVersion {
+		return nil, fmt.Errorf("store: binary artifact version %d, want %d", v, BinaryVersion)
+	}
+	kind := ElemKind(binary.LittleEndian.Uint32(data[8:12]))
+	if kind != Float64 && kind != Float32 {
+		return nil, fmt.Errorf("store: unknown element kind %d", kind)
+	}
+	metaDim := int(int32(binary.LittleEndian.Uint32(data[12:16])))
+	rows := int(binary.LittleEndian.Uint64(data[16:24]))
+	cols := int(binary.LittleEndian.Uint64(data[24:32]))
+	seed := int64(binary.LittleEndian.Uint64(data[32:40]))
+	prec := int(int32(binary.LittleEndian.Uint32(data[40:44])))
+	algoLen := int(binary.LittleEndian.Uint32(data[44:48]))
+	corpLen := int(binary.LittleEndian.Uint32(data[48:52]))
+	wordsLen := int(binary.LittleEndian.Uint32(data[52:56]))
+	payloadOff := int(binary.LittleEndian.Uint64(data[56:64]))
+
+	if rows < 0 || cols < 0 || rows > math.MaxInt/8/max(cols, 1) {
+		return nil, fmt.Errorf("store: corrupt binary artifact: %dx%d matrix", rows, cols)
+	}
+	if binHeaderLen+algoLen+corpLen+wordsLen > payloadOff || payloadOff%binAlign != 0 {
+		return nil, fmt.Errorf("store: corrupt binary artifact: payload offset %d under %d header bytes",
+			payloadOff, binHeaderLen+algoLen+corpLen+wordsLen)
+	}
+	want := payloadOff + rows*cols*elemSize(kind)
+	if len(data) != want {
+		return nil, fmt.Errorf("store: corrupt binary artifact: %d bytes, want %d for %dx%d %s",
+			len(data), want, rows, cols, map[ElemKind]string{Float64: "float64", Float32: "float32"}[kind])
+	}
+
+	off := binHeaderLen
+	algo := string(data[off : off+algoLen])
+	off += algoLen
+	corp := string(data[off : off+corpLen])
+	off += corpLen
+	words := splitWordsBlob(data[off : off+wordsLen])
+	if words != nil && len(words) != rows {
+		return nil, fmt.Errorf("store: corrupt binary artifact: %d words for %d rows", len(words), rows)
+	}
+
+	vals := decodePayload(data[payloadOff:], rows*cols, kind)
+	return &embedding.Embedding{
+		Vectors: matrix.NewDenseData(rows, cols, vals),
+		Words:   words,
+		Meta: embedding.Meta{
+			Algorithm: algo, Corpus: corp, Dim: metaDim, Seed: seed, Precision: prec,
+		},
+	}, nil
+}
+
+// decodePayload reinterprets (or decodes) n elements from payload.
+func decodePayload(payload []byte, n int, kind ElemKind) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if kind == Float64 && hostLittleEndian && uintptr(unsafe.Pointer(&payload[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&payload[0])), n)
+	}
+	vals := make([]float64, n)
+	if kind == Float32 {
+		for i := range vals {
+			vals[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:])))
+		}
+	} else {
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	}
+	return vals
+}
+
+// SaveBinaryFile writes e to path in the binary format (not atomically;
+// the store's disk tier goes through its own temp-file + rename).
+func SaveBinaryFile(path string, e *embedding.Embedding, kind ElemKind) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if err := WriteBinary(f, e, kind); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadBinaryFile reads a binary artifact in one os.ReadFile. The float64
+// payload is used in place (see DecodeBinary), so the load allocates the
+// file buffer and nothing per row.
+func LoadBinaryFile(path string) (*embedding.Embedding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return DecodeBinary(data)
+}

@@ -17,15 +17,21 @@
 //
 // # On-disk layout
 //
-// Each persisted artifact is the gob encoding written by
-// embedding.Embedding.Save, stored at
+// Each persisted artifact is written twice, under
 //
+//	<dir>/<algo>-<corpus>-d<dim>-s<seed>-b<bits>-<scope>.bin
 //	<dir>/<algo>-<corpus>-d<dim>-s<seed>-b<bits>-<scope>.gob
 //
-// e.g. cache/cbow-wiki17-d64-s1-b32-9f8a3c21e5b70d44.gob. The scope field
-// is a hash of the corpus generation config, so caches for different
-// corpora never collide; gob preserves float64 bits exactly, so a disk
-// hit is bitwise identical to the original computation.
+// e.g. cache/cbow-wiki17-d64-s1-b32-9f8a3c21e5b70d44.bin. The .bin file is
+// the zero-copy binary format (see binary.go): one ReadFile and a header
+// check instead of a full gob decode, which is what the serving read path
+// loads. The .gob file is the portable gob encoding written by
+// embedding.Embedding.Save, kept alongside as the compatibility tier;
+// loads prefer .bin and fall back to .gob (so caches written before the
+// binary format still hit). The scope field is a hash of the corpus
+// generation config, so caches for different corpora never collide; both
+// encodings preserve float64 bits exactly, so a disk hit is bitwise
+// identical to the original computation.
 package store
 
 import (
@@ -304,39 +310,65 @@ func (s *Store) putLocked(id string, e *embedding.Embedding) {
 	}
 }
 
-func (s *Store) path(k Key) string { return filepath.Join(s.dir, k.ID()+".gob") }
+func (s *Store) path(k Key) string    { return filepath.Join(s.dir, k.ID()+".gob") }
+func (s *Store) binPath(k Key) string { return filepath.Join(s.dir, k.ID()+BinaryExt) }
 
 // loadDisk returns the disk-tier artifact for k, or nil when absent or
 // unreadable (an unreadable file is treated as a miss and recomputed).
+// The zero-copy binary encoding is preferred; the gob file is the
+// fallback for caches written before the binary format existed, and a
+// gob hit backfills the missing binary so the slow decode is paid once
+// per artifact, not once per restart.
 func (s *Store) loadDisk(k Key) *embedding.Embedding {
 	if s.dir == "" {
 		return nil
 	}
-	e, err := embedding.LoadFile(s.path(k))
+	e, err := LoadBinaryFile(s.binPath(k))
 	if err != nil {
-		return nil
+		if e, err = embedding.LoadFile(s.path(k)); err != nil {
+			return nil
+		}
+		// Best-effort upgrade of a pre-binary cache entry.
+		if err := s.writeAtomic(k, s.binPath(k), func(w *os.File) error {
+			return WriteBinary(w, e, Float64)
+		}); err != nil {
+			s.persistErrs.Add(1)
+		}
 	}
 	s.diskHits.Add(1)
 	return e
 }
 
-// saveDisk persists an artifact atomically: the gob is written to a
-// temporary file in the cache directory and renamed into place, so
+// saveDisk persists an artifact atomically in both encodings — the binary
+// fast path the read tier prefers and the portable gob: each is written to
+// a temporary file in the cache directory and renamed into place, so
 // concurrent readers and crashed writers never observe a torn file.
 func (s *Store) saveDisk(k Key, e *embedding.Embedding) error {
+	if err := s.writeAtomic(k, s.binPath(k), func(w *os.File) error {
+		return WriteBinary(w, e, Float64)
+	}); err != nil {
+		return err
+	}
+	return s.writeAtomic(k, s.path(k), func(w *os.File) error {
+		return e.Save(w)
+	})
+}
+
+// writeAtomic writes one artifact encoding via temp file + rename.
+func (s *Store) writeAtomic(k Key, path string, write func(*os.File) error) error {
 	tmp, err := os.CreateTemp(s.dir, k.ID()+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := e.Save(tmp); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: save %s: %w", k.ID(), err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil

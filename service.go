@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"anchor/internal/core"
+	"anchor/internal/embedding"
 	"anchor/internal/embtrain"
 	"anchor/internal/experiments"
+	"anchor/internal/query"
 	"anchor/internal/registry"
 	"anchor/internal/store"
 	"anchor/internal/tasks"
@@ -28,6 +31,7 @@ import (
 // cache survives restarts.
 type Service struct {
 	runner   *experiments.Runner
+	engine   *query.Engine
 	progress func(string)
 	defSeed  int64
 	defBits  int
@@ -53,14 +57,16 @@ func invalidf(format string, args ...any) error {
 
 // serviceSettings accumulates functional options.
 type serviceSettings struct {
-	cfg      ExperimentConfig
-	workers  *int
-	topWords *int
-	seed     int64
-	bits     int
-	cacheDir string
-	cacheCap int
-	progress func(string)
+	cfg         ExperimentConfig
+	workers     *int
+	topWords    *int
+	seed        int64
+	bits        int
+	cacheDir    string
+	cacheCap    int
+	queryBudget int64
+	queryWindow time.Duration
+	progress    func(string)
 }
 
 // ServiceOption configures NewService.
@@ -112,6 +118,24 @@ func WithCacheCapacity(n int) ServiceOption {
 	return func(s *serviceSettings) { s.cacheCap = n }
 }
 
+// WithQueryBudget bounds the total bytes of query-ready snapshots the
+// read path keeps resident (each snapshot pins its normalized matrix,
+// the raw embedding, and the word index); least recently used snapshots
+// are evicted beyond it and reload from the artifact store on the next
+// query. The default is 256 MiB; <= 0 removes the bound.
+func WithQueryBudget(bytes int64) ServiceOption {
+	return func(s *serviceSettings) { s.queryBudget = bytes }
+}
+
+// WithQueryWindow sets the read path's micro-batching gather window: how
+// long the first of a burst of concurrent Neighbors queries waits for
+// company before the batch is scored as one matrix product (default
+// 200µs; 0 disables batching). Answers are bitwise identical for every
+// value — the window only trades a bounded latency floor for throughput.
+func WithQueryWindow(d time.Duration) ServiceOption {
+	return func(s *serviceSettings) { s.queryWindow = d }
+}
+
 // WithProgress installs a progress callback invoked with a short human
 // note at each expensive stage (training, measuring, downstream model
 // fits). The callback must be safe for concurrent use.
@@ -122,9 +146,11 @@ func WithProgress(fn func(stage string)) ServiceOption {
 // NewService builds a Service from functional options.
 func NewService(opts ...ServiceOption) (*Service, error) {
 	settings := &serviceSettings{
-		cfg:  BenchExperimentConfig(),
-		seed: 1,
-		bits: 32,
+		cfg:         BenchExperimentConfig(),
+		seed:        1,
+		bits:        32,
+		queryBudget: 256 << 20,
+		queryWindow: 200 * time.Microsecond,
 	}
 	for _, opt := range opts {
 		opt(settings)
@@ -144,8 +170,20 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	runner := experiments.NewRunnerWithStore(settings.cfg, st)
+	// The query engine draws snapshots straight from the runner's artifact
+	// store: a warm store answers read-path queries without retraining.
+	engine := query.New(
+		func(ctx context.Context, ref query.Ref) (*embedding.Embedding, error) {
+			return runner.TrainCtx(ctx, ref.Algo, ref.Year, ref.Dim, ref.Seed)
+		},
+		query.WithBudget(settings.queryBudget),
+		query.WithWindow(settings.queryWindow),
+		query.WithWorkers(settings.cfg.Workers),
+	)
 	return &Service{
-		runner:   experiments.NewRunnerWithStore(settings.cfg, st),
+		runner:   runner,
+		engine:   engine,
 		progress: settings.progress,
 		defSeed:  settings.seed,
 		defBits:  settings.bits,

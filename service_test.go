@@ -266,3 +266,96 @@ func TestServiceSelect(t *testing.T) {
 		t.Fatalf("ladder-exceeding select: %+v", rep2)
 	}
 }
+
+// TestServiceQueryReadPath covers the Service's read-path surface:
+// vector lookups match the trained rows, neighbors come from the same
+// snapshot, deltas aggregate correctly, and validation errors carry the
+// right types.
+func TestServiceQueryReadPath(t *testing.T) {
+	svc := newTinyService(t)
+	ctx := context.Background()
+	e, err := svc.Train(ctx, "mc", 2017, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{e.Words[3], e.Words[77]}
+
+	vrep, err := svc.Query(ctx, "mc", 8, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vrep.Vectors {
+		if v.Word != words[i] {
+			t.Fatalf("vector %d word %q, want %q", i, v.Word, words[i])
+		}
+		for j, x := range v.Vector {
+			if x != e.Vector(v.ID)[j] {
+				t.Fatalf("vector %s differs from trained row", v.Word)
+			}
+		}
+	}
+
+	nrep, err := svc.Neighbors(ctx, "mc", 8, words, anchor.QueryK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrep.K != 4 || len(nrep.Results) != 2 || len(nrep.Results[0].Neighbors) != 4 {
+		t.Fatalf("neighbors report: %+v", nrep)
+	}
+	for _, r := range nrep.Results {
+		for _, n := range r.Neighbors {
+			if n.Word == r.Word {
+				t.Fatalf("word %s listed as its own neighbor", r.Word)
+			}
+		}
+	}
+
+	drep, err := svc.NeighborDelta(ctx, "mc", 8, words, anchor.QueryK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drep.Results) != 2 {
+		t.Fatalf("delta report: %+v", drep)
+	}
+	mean := (drep.Results[0].Overlap + drep.Results[1].Overlap) / 2
+	if drep.MeanOverlap != mean {
+		t.Fatalf("mean overlap %v, want %v", drep.MeanOverlap, mean)
+	}
+	// The '17 side of the delta must agree with the plain 2017 neighbors.
+	for i, d := range drep.Results {
+		for j, n := range d.A {
+			if n != nrep.Results[i].Neighbors[j] {
+				t.Fatalf("delta '17 neighbors differ from Neighbors answer for %s", d.Word)
+			}
+		}
+	}
+
+	// Validation: unknown algorithm, bad year, bad k, no words, oov word.
+	var unk *anchor.UnknownNameError
+	if _, err := svc.Neighbors(ctx, "elmo", 8, words); !errors.As(err, &unk) {
+		t.Fatalf("unknown algo err = %v", err)
+	}
+	var inv *anchor.InvalidRequestError
+	if _, err := svc.Neighbors(ctx, "mc", 8, words, anchor.QueryYear(1999)); !errors.As(err, &inv) {
+		t.Fatalf("bad year err = %v", err)
+	}
+	if _, err := svc.Neighbors(ctx, "mc", 8, words, anchor.QueryK(-1)); !errors.As(err, &inv) {
+		t.Fatalf("bad k err = %v", err)
+	}
+	if _, err := svc.Query(ctx, "mc", 8, nil); !errors.As(err, &inv) {
+		t.Fatalf("no words err = %v", err)
+	}
+	var uw *anchor.UnknownWordError
+	if _, err := svc.Query(ctx, "mc", 8, []string{"definitely-not-a-word"}); !errors.As(err, &uw) {
+		t.Fatalf("oov err = %v", err)
+	}
+
+	// The read path reuses store artifacts: all of the above trained the
+	// 2017 and 2018 snapshots exactly once each.
+	if st := svc.StoreStats(); st.Computes != 2 {
+		t.Fatalf("computes = %d, want 2 (wiki17 + wiki18)", st.Computes)
+	}
+	if qs := svc.QueryStats(); qs.SnapshotLoads != 2 || qs.SnapshotHits == 0 {
+		t.Fatalf("query stats: %+v", qs)
+	}
+}
