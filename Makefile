@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test vet fmt docs race serve-smoke bench bench-artifacts
+# Pinned linter toolchain so CI runs are reproducible; `make lint-tools`
+# installs exactly these versions.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: build test vet fmt lint anchorlint staticcheck govulncheck lint-tools docs race race-full serve-smoke bench bench-artifacts
 
 build:
 	$(GO) build ./...
@@ -13,6 +18,37 @@ vet:
 
 fmt:
 	gofmt -l .
+
+# The full static-analysis gate: the repo's own determinism linter, go
+# vet, staticcheck, and govulncheck. anchorlint encodes the bitwise-
+# determinism contract (see docs/ARCHITECTURE.md, "Determinism rules");
+# zero unsuppressed findings is a merge requirement.
+lint: vet anchorlint staticcheck govulncheck
+
+anchorlint:
+	$(GO) run ./cmd/anchorlint ./...
+
+# staticcheck and govulncheck are external binaries; run them when
+# installed, otherwise print the pinned install recipe and skip so the
+# target still works on offline development machines. CI installs both
+# via lint-tools, so there they always run.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 # Documentation gate: every package must carry a package comment, and the
 # architecture + HTTP API documents must exist and be linked from the
@@ -32,9 +68,17 @@ docs:
 
 # Race-detector pass over the traffic-serving layer: the HTTP API, the
 # artifact store, and the query engine handle concurrent requests over
-# shared state.
+# shared state. This is the quick inner-loop target; CI additionally runs
+# race-full.
 race:
 	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/query/...
+
+# Full-module race pass: every package, including the parallel trainers
+# and kernels, under the race detector (CI runs this as its own job). The
+# worker-invariance training tests run several times slower under -race,
+# so raise the per-package timeout above the 10m default.
+race-full:
+	$(GO) test -race -timeout 40m ./...
 
 # Boot the HTTP server against the small config and hit /v1/healthz.
 serve-smoke:

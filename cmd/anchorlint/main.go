@@ -1,0 +1,103 @@
+// Command anchorlint is the multichecker driver for the repository's
+// determinism lint suite (internal/lint). It loads the named packages,
+// runs every selected analyzer, and exits non-zero when any unsuppressed
+// finding remains:
+//
+//	anchorlint ./...                     # whole module (the CI gate)
+//	anchorlint -rules seedrand ./...     # one rule
+//	anchorlint -show-suppressed ./...    # audit documented exceptions
+//
+// Findings are suppressed in place with
+//
+//	//anchorlint:ignore <rule> <reason>
+//
+// on the flagged line or the line directly above it; see
+// docs/ARCHITECTURE.md ("Determinism rules") for the rule catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"anchor/internal/lint"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	detPkgs := flag.String("det-packages", "", "comma-separated override of the deterministic package list (paths; trailing /... matches a subtree)")
+	showSuppressed := flag.Bool("show-suppressed", false, "also print findings covered by //anchorlint:ignore, with their reasons")
+	list := flag.Bool("list", false, "print the analyzer catalogue and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: anchorlint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *detPkgs != "" {
+		lint.DeterministicPackages = strings.Split(*detPkgs, ",")
+	}
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anchorlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anchorlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anchorlint:", err)
+		os.Exit(2)
+	}
+
+	failures := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			if *showSuppressed {
+				fmt.Printf("%s: suppressed [%s]: %s (%s)\n", d.Pos, d.SuppressReason, d.Message, d.Rule)
+			}
+			continue
+		}
+		failures++
+		fmt.Println(d)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "anchorlint: %d finding(s)\n", failures)
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves a comma-separated rule list against the suite.
+func selectAnalyzers(rules string) ([]*lint.Analyzer, error) {
+	if rules == "" {
+		return lint.All(), nil
+	}
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have: seedrand, maporder, fpreduce, sharedwrite)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

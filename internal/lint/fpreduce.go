@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FPReduce enforces the ordered-reduction clause of the determinism
+// contract: floating-point addition is not associative, so a sum whose
+// term order depends on goroutine scheduling differs bitwise between runs
+// even when every term is identical. A mutex makes such an accumulation
+// race-free but not order-free, which is why -race stays silent; the
+// sanctioned shape is shard-private accumulators folded in ascending shard
+// order by parallel.Run's reduce callback (or any other fixed-order
+// reduction).
+var FPReduce = &Analyzer{
+	Name: "fpreduce",
+	Doc: "flags floating-point accumulation into variables shared across " +
+		"goroutines and accumulation of channel receives, where " +
+		"reduction order depends on scheduling; use internal/parallel's " +
+		"ordered reductions",
+	Run: runFPReduce,
+}
+
+func runFPReduce(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, lit := range goroutineBodies(file) {
+			checkGoroutineAccum(pass, lit)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				checkChanAccum(pass, rng)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineAccum flags compound float assignment to captured state
+// inside a goroutine body.
+func checkGoroutineAccum(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // nested launches are visited on their own
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !isCompoundAdd(as.Tok) {
+			return true
+		}
+		lhs := as.Lhs[0]
+		t := pass.TypesInfo.Types[lhs].Type
+		if t == nil || !isFloat(t) {
+			return true
+		}
+		base, captured := capturedBase(pass.TypesInfo, lhs, lit.Pos(), lit.End())
+		if base == nil || !captured {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"floating-point accumulation into captured %s inside a goroutine: reduction order depends on scheduling (mutexes serialize but do not order); accumulate per shard and fold with parallel.Run's ordered reduce",
+			types.ExprString(lhs))
+		return true
+	})
+}
+
+// checkChanAccum flags float accumulation of values received by ranging
+// over a channel: with more than one sender, arrival order — and so the
+// rounded sum — depends on scheduling.
+func checkChanAccum(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !isCompoundAdd(as.Tok) {
+			return true
+		}
+		lhs := as.Lhs[0]
+		t := pass.TypesInfo.Types[lhs].Type
+		if t == nil || !isFloat(t) {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"floating-point accumulation of channel receives into %s: arrival order depends on scheduling; collect into an indexed buffer and reduce in fixed order",
+			types.ExprString(lhs))
+		return true
+	})
+}
+
+// isCompoundAdd reports whether tok is an order-sensitive compound
+// floating-point assignment operator.
+func isCompoundAdd(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}

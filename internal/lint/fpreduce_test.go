@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"anchor/internal/lint"
+	"anchor/internal/lint/linttest"
+)
+
+// TestFPReduce runs the fpreduce fixtures: mutex-guarded float sums in
+// goroutines, .Go-launched closures, and channel-receive folds must be
+// flagged; shard-private accumulation folded in fixed order and integer
+// counters must pass.
+func TestFPReduce(t *testing.T) {
+	linttest.Run(t, lint.FPReduce, "testdata/src/fpreduce", "anchorlint.test/fpreduce")
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"anchor/internal/lint"
+	"anchor/internal/lint/linttest"
+)
+
+// TestMapOrder runs the maporder fixtures: unsorted appends, float folds,
+// and I/O inside map ranges must be flagged; the collect-then-sort idiom,
+// keyed visit-once accumulation, integer counts, per-iteration locals, and
+// a justified ignore directive must pass.
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/src/maporder", "anchorlint.test/maporder")
+}

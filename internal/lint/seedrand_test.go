@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"testing"
+
+	"anchor/internal/lint"
+	"anchor/internal/lint/linttest"
+)
+
+// TestSeedRand runs the seedrand fixtures with the fixture package
+// registered as deterministic: global math/rand draws and clock/env reads
+// must be flagged, seeded RNGs must pass, and the documented ignore
+// directive must suppress its wall-clock read.
+func TestSeedRand(t *testing.T) {
+	old := lint.DeterministicPackages
+	lint.DeterministicPackages = append(old[:len(old):len(old)], "anchorlint.test/seedrand")
+	defer func() { lint.DeterministicPackages = old }()
+	linttest.Run(t, lint.SeedRand, "testdata/src/seedrand", "anchorlint.test/seedrand")
+}
+
+// TestSeedRandOutsideContract checks the package gate: the same calls in a
+// package outside DeterministicPackages produce no findings.
+func TestSeedRandOutsideContract(t *testing.T) {
+	linttest.Run(t, lint.SeedRand, "testdata/src/seedrand_nondet", "anchorlint.test/seedrand_nondet")
+}
+
+// TestIsDeterministicPkg pins the path matching, including the /...
+// subtree form used for tasks/*.
+func TestIsDeterministicPkg(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"anchor/internal/cooc", true},
+		{"anchor/internal/tasks", true},
+		{"anchor/internal/tasks/ner", true},
+		{"anchor/internal/tasks/sentiment", true},
+		{"anchor/internal/serve", false},
+		{"anchor/internal/coocx", false},
+	}
+	for _, c := range cases {
+		if got := lint.IsDeterministicPkg(c.path); got != c.want {
+			t.Errorf("IsDeterministicPkg(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

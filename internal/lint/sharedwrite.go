@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedWrite enforces the disjoint-write clause of the determinism
+// contract: goroutines may write captured slices only through indices that
+// partition the slice per goroutine (the accs[s]-style shape used by
+// internal/parallel, where s is a closure parameter or local). Map writes
+// and appends from inside a goroutine are never partitionable — append
+// moves the backing array and maps are unsafe for concurrent mutation.
+// This is the race shape `go test -race` reports only when a schedule
+// happens to exhibit it; the analyzer flags it on every build.
+var SharedWrite = &Analyzer{
+	Name: "sharedwrite",
+	Doc: "flags goroutine closures writing to captured maps or slices " +
+		"without disjoint index partitioning (append, map stores, and " +
+		"element writes whose index is itself captured)",
+	Run: runSharedWrite,
+}
+
+func runSharedWrite(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, lit := range goroutineBodies(file) {
+			checkGoroutineWrites(pass, lit)
+		}
+	}
+	return nil
+}
+
+func checkGoroutineWrites(pass *Pass, lit *ast.FuncLit) {
+	info := pass.TypesInfo
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // nested launches are visited on their own
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			switch target := ast.Unparen(lhs).(type) {
+			case *ast.IndexExpr:
+				base, captured := capturedBase(info, target.X, lit.Pos(), lit.End())
+				if base == nil || !captured {
+					continue
+				}
+				bt := info.Types[target.X].Type
+				if bt == nil {
+					continue
+				}
+				if isMap(bt) {
+					pass.Reportf(as.Pos(),
+						"store into captured map %s inside a goroutine: concurrent map writes fault and merge order is scheduling-dependent; accumulate per-shard maps and merge in shard order",
+						types.ExprString(target.X))
+				} else if !mentionsLocal(info, target.Index, lit.Pos(), lit.End()) {
+					pass.Reportf(as.Pos(),
+						"write to captured %s through captured index %s inside a goroutine: indices must partition the buffer per goroutine (pass the index as a closure parameter)",
+						types.ExprString(target.X), types.ExprString(target.Index))
+				}
+			case *ast.Ident, *ast.SelectorExpr:
+				if i < len(as.Rhs) && isSelfAppend(info, lhs, as.Rhs[i], lit.Pos(), lit.End()) {
+					pass.Reportf(as.Pos(),
+						"append to captured %s inside a goroutine: append may move the backing array and element order depends on scheduling; give each goroutine its own slice and concatenate in fixed order",
+						types.ExprString(lhs))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isSelfAppend reports whether rhs is append(lhs, ...) with lhs captured
+// from outside the closure span.
+func isSelfAppend(info *types.Info, lhs, rhs ast.Expr, lo, hi token.Pos) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || info.Uses[id] != types.Universe.Lookup("append") {
+		return false
+	}
+	if types.ExprString(call.Args[0]) != types.ExprString(lhs) {
+		return false
+	}
+	_, captured := capturedBase(info, lhs, lo, hi)
+	return captured
+}

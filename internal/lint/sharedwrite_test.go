@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"anchor/internal/lint"
+	"anchor/internal/lint/linttest"
+)
+
+// TestSharedWrite runs the sharedwrite fixtures: map stores, appends, and
+// captured-index element writes from goroutines must be flagged; writes
+// partitioned through closure parameters must pass.
+func TestSharedWrite(t *testing.T) {
+	linttest.Run(t, lint.SharedWrite, "testdata/src/sharedwrite", "anchorlint.test/sharedwrite")
+}

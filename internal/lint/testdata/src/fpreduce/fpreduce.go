@@ -1,0 +1,94 @@
+// Package fpreduce holds fixtures for the fpreduce analyzer: floating-
+// point sums whose term order depends on goroutine scheduling must be
+// flagged, while shard-private accumulation folded in fixed order passes.
+package fpreduce
+
+import "sync"
+
+// SharedSum accumulates under a mutex: race-free but order-dependent, the
+// exact shape -race never reports.
+func SharedSum(xs []float64) float64 {
+	var mu sync.Mutex
+	var sum float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			mu.Lock()
+			sum += x // want `floating-point accumulation into captured sum inside a goroutine`
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+	return sum
+}
+
+// ShardSum is the sanctioned shape: shard-private accumulators written to
+// disjoint slots, folded sequentially afterwards (parallel.Run's reduce).
+func ShardSum(xs []float64, shards int) float64 {
+	partial := make([]float64, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var local float64
+			for i := s; i < len(xs); i += shards {
+				local += xs[i]
+			}
+			partial[s] = local
+		}(s)
+	}
+	wg.Wait()
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// ChanSum folds channel receives in arrival order.
+func ChanSum(ch chan float64) float64 {
+	var sum float64
+	for v := range ch {
+		sum += v // want `floating-point accumulation of channel receives into sum`
+	}
+	return sum
+}
+
+// group mimics the errgroup/WaitGroup.Go launch shape.
+type group struct{}
+
+// Go runs f, standing in for an asynchronous launcher.
+func (group) Go(f func()) { f() }
+
+// GroupLaunch accumulates captured state from a .Go-launched closure.
+func GroupLaunch(xs []float64) float64 {
+	var g group
+	var sum float64
+	g.Go(func() {
+		for _, x := range xs {
+			sum += x // want `floating-point accumulation into captured sum inside a goroutine`
+		}
+	})
+	return sum
+}
+
+// Counter increments an integer: associative, never flagged.
+func Counter(n int) int {
+	var mu sync.Mutex
+	count := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			count++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return count
+}

@@ -1,0 +1,35 @@
+// Package seedrand holds fixtures for the seedrand analyzer: the harness
+// registers this package as deterministic, so global-source draws and
+// clock/env reads must be flagged while explicitly seeded RNGs pass.
+package seedrand
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Bad draws from the process-global source and the environment.
+func Bad() float64 {
+	v := rand.Float64()                           // want `global math/rand.Float64 in deterministic package`
+	rand.Shuffle(3, func(i, j int) {})            // want `global math/rand.Shuffle`
+	n := rand.Intn(10)                            // want `global math/rand.Intn`
+	src := rand.NewSource(time.Now().UnixNano())  // want `time.Now in deterministic package`
+	if _, ok := os.LookupEnv("ANCHOR_SEED"); ok { // want `os.LookupEnv in deterministic package`
+		v++
+	}
+	return v + float64(n) + rand.New(src).Float64()
+}
+
+// Good draws every value from an explicitly seeded generator; the
+// constructors themselves are the sanctioned shape and stay silent.
+func Good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() + float64(rng.Intn(10))
+}
+
+// Suppressed documents an intentional clock read in place.
+func Suppressed() time.Time {
+	//anchorlint:ignore seedrand fixture documents an intentional wall-clock read
+	return time.Now()
+}

@@ -1,0 +1,15 @@
+// Package nondet holds the seedrand negative fixture: this package is not
+// registered as deterministic, so the same global-source draws that fail
+// the seedrand fixture must produce no findings here.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sample may use ambient randomness and the clock: this package is
+// outside the determinism contract.
+func Sample() float64 {
+	return rand.Float64() * float64(time.Now().Unix()%7)
+}

@@ -1,0 +1,96 @@
+// Package sharedwrite holds fixtures for the sharedwrite analyzer:
+// goroutine closures may write captured slices only through indices that
+// partition the buffer per goroutine; map stores and appends from a
+// goroutine are always flagged.
+package sharedwrite
+
+import "sync"
+
+// FillByParam partitions indices through a closure parameter: blessed.
+func FillByParam(n int) []float64 {
+	out := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = float64(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// FillCaptured indexes through a captured variable: the analyzer cannot
+// prove the writes disjoint, so it flags the store.
+func FillCaptured(n int) []float64 {
+	out := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = 1 // want `write to captured out through captured index i`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Index builds a map from goroutines: concurrent map stores fault.
+func Index(words []string) map[string]int {
+	m := make(map[string]int)
+	var wg sync.WaitGroup
+	for i, w := range words {
+		wg.Add(1)
+		go func(i int, w string) {
+			defer wg.Done()
+			m[w] = i // want `store into captured map m inside a goroutine`
+		}(i, w)
+	}
+	wg.Wait()
+	return m
+}
+
+// Gather appends to a captured slice from goroutines: even under a mutex
+// the element order depends on scheduling.
+func Gather(n int) []int {
+	var out []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, i) // want `append to captured out inside a goroutine`
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// GatherSharded gives each goroutine its own slice slot and concatenates
+// in fixed shard order: the sanctioned shape.
+func GatherSharded(n, shards int) []int {
+	parts := make([][]int, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var local []int
+			for i := s; i < n; i += shards {
+				local = append(local, i)
+			}
+			parts[s] = local
+		}(s)
+	}
+	wg.Wait()
+	var out []int
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

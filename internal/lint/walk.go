@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// isFloat reports whether t's underlying type is a floating-point or
+// complex scalar — the types whose addition is not associative, so
+// accumulation order changes the rounded result.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// pkgFunc resolves a call expression to a package-level function and
+// returns its package path and name. It returns ok=false for method
+// calls, local closures, conversions, and builtins.
+func pkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if sig, isSig := fn.Type().(*types.Signature); !isSig || sig.Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// goroutineBodies collects every function literal the file launches as a
+// goroutine: `go func(){...}(...)` statements, plus literals handed to a
+// method named Go (the errgroup/WaitGroup.Go launch shape).
+func goroutineBodies(file *ast.File) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Go" {
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						lits = append(lits, lit)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return lits
+}
+
+// declaredWithin reports whether obj's declaration lies inside [lo, hi] —
+// used to separate a closure's own parameters and locals from variables
+// captured from the enclosing function.
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj != nil && obj.Pos() != token.NoPos && obj.Pos() >= lo && obj.Pos() <= hi
+}
+
+// capturedBase resolves the root identifier of an lvalue (x, x.f, x[i],
+// x.f[i], ...) and reports whether it names a variable declared outside
+// the given span, i.e. captured by a closure spanning [lo, hi].
+func capturedBase(info *types.Info, expr ast.Expr, lo, hi token.Pos) (*ast.Ident, bool) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj, ok := info.Uses[e].(*types.Var)
+			if !ok {
+				return nil, false
+			}
+			return e, !declaredWithin(obj, lo, hi)
+		case *ast.SelectorExpr:
+			// A selection rooted at a package name is a global, not
+			// a capture in the closure-partitioning sense; still
+			// treat package-level variables as captured state.
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// mentionsLocal reports whether expr references any identifier declared
+// inside [lo, hi] — e.g. a closure parameter or local. An index built only
+// from such identifiers is per-goroutine state, which is the disjoint
+// partitioning shape sharedwrite accepts.
+func mentionsLocal(info *types.Info, expr ast.Expr, lo, hi token.Pos) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && declaredWithin(obj, lo, hi) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsObj reports whether expr references the given object.
+func mentionsObj(info *types.Info, expr ast.Expr, target types.Object) bool {
+	if target == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

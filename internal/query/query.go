@@ -447,6 +447,7 @@ func (e *Engine) enqueue(ctx context.Context, s *snapshot, id, k int) (neighborA
 	s.mu.Unlock()
 
 	if leader {
+		//anchorlint:ignore seedrand gather-window timing only groups requests into batches; per-query answers are bitwise identical singleton vs batched (TestNeighborsBitwiseSingletonVsBatched)
 		timer := time.NewTimer(e.window)
 		select {
 		case <-timer.C:
