@@ -101,7 +101,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMulATB|BenchmarkMulABT|BenchmarkKNNMeasure|BenchmarkSVD|BenchmarkEigenspaceInstability|BenchmarkPIPLoss|BenchmarkSemanticDisplacement|BenchmarkQuantize' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkKNNMeasureReference3000' -benchtime 1x ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkTrainLinearBOW|BenchmarkNERTrain|BenchmarkGridCell' -benchmem .
-	$(GO) test -run '^$$' -bench 'BenchmarkNeighborsServe' -benchtime 3x ./internal/query
+	$(GO) test -run '^$$' -bench 'BenchmarkNeighborsServe|BenchmarkNeighborsPrecision' -benchtime 3x ./internal/query | tee BENCH_query.txt
+	$(GO) run ./cmd/benchjson -o BENCH_query.json < BENCH_query.txt
+	@rm -f BENCH_query.txt
 
 # Full paper-artifact regeneration benchmarks (slow; trains the grid).
 bench-artifacts:

@@ -12,9 +12,9 @@
 //	anchor measure   -a emb17.gob -b emb18.gob -bits 4 -top 300
 //	anchor stability -algo mc -dim 32 -bits 4 -seed 1 -task sst2
 //	anchor select    -algo mc -dims 8,16,32 -bits 1,4,32 -budget 128
-//	anchor query     -algo mc -dim 32 -words fezadis,dovoles -k 5 -delta
+//	anchor query     -algo mc -dim 32 -bits 8 -words fezadis,dovoles -k 5 -delta
 //	anchor experiment -id fig1 -config small
-//	anchor serve     -addr :8080 -config bench -cache-dir .anchor-cache
+//	anchor serve     -addr :8080 -config bench -cache-dir .anchor-cache -serving-budget 256
 package main
 
 import (
@@ -287,6 +287,7 @@ func cmdQuery(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	algo := fs.String("algo", "mc", "embedding algorithm")
 	dim := fs.Int("dim", 32, "embedding dimension")
+	bits := fs.Int("bits", 0, "served precision in bits (1..32; 0 = service default, full precision)")
 	seed := fs.Int64("seed", 1, "training seed")
 	year := fs.Int("year", 2017, "corpus snapshot year (2017 or 2018; ignored by -delta)")
 	wordsFlag := fs.String("words", "", "comma-separated query words (required)")
@@ -310,6 +311,9 @@ func cmdQuery(ctx context.Context, args []string) error {
 		return err
 	}
 	opts := []anchor.QueryOption{anchor.QueryYear(*year), anchor.QueryK(*k), anchor.QuerySeed(*seed)}
+	if *bits != 0 {
+		opts = append(opts, anchor.QueryPrecision(*bits))
+	}
 	switch {
 	case *vectors:
 		rep, err := svc.Query(ctx, *algo, *dim, words, opts...)
@@ -374,11 +378,13 @@ func cmdExperiment(ctx context.Context, args []string) error {
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	budget := fs.Int("serving-budget", 0,
+		"serving memory budget in bits/word: dim-0 queries auto-select (dim, bits) by eigenspace instability under dim*bits <= budget (0 = disabled)")
 	sf := addServiceFlags(fs, "bench")
 	fs.Parse(args)
 
 	logger := log.New(os.Stderr, "anchor-serve ", log.LstdFlags)
-	svc, err := sf.newService(anchor.WithProgress(func(stage string) {
+	svc, err := sf.newService(anchor.WithServingBudget(*budget), anchor.WithProgress(func(stage string) {
 		if *sf.verbose {
 			logger.Println(stage)
 		}

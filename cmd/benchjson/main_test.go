@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	res, ok := parseLine("BenchmarkNeighborsPrecision/bits=8-8         \t       3\t  69766318 ns/op\t   1622048 bytes/query\t       917.3 queries/s")
+	if !ok {
+		t.Fatal("result line not parsed")
+	}
+	if res.Name != "BenchmarkNeighborsPrecision/bits=8" {
+		t.Fatalf("name %q", res.Name)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("iterations %d", res.Iterations)
+	}
+	want := map[string]float64{"ns/op": 69766318, "bytes/query": 1622048, "queries/s": 917.3}
+	for unit, v := range want {
+		if res.Metrics[unit] != v {
+			t.Fatalf("metric %s = %v, want %v", unit, res.Metrics[unit], v)
+		}
+	}
+
+	// Sub-benchmark names keep internal dashes; only the GOMAXPROCS
+	// suffix is stripped.
+	res, ok = parseLine("BenchmarkFoo/pre-sorted-16 100 5 ns/op")
+	if !ok || res.Name != "BenchmarkFoo/pre-sorted" {
+		t.Fatalf("dash handling: ok=%v name=%q", ok, res.Name)
+	}
+
+	for _, line := range []string{
+		"PASS",
+		"ok  \tanchor/internal/query\t2.5s",
+		"goos: linux",
+		"--- FAIL: TestX",
+		"BenchmarkBroken notanumber 5 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("non-result line parsed: %q", line)
+		}
+	}
+}

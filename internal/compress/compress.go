@@ -9,39 +9,84 @@
 //     the FIRST embedding of a pair and reused for the second, avoiding a
 //     spurious source of instability;
 //   - rounding is deterministic (round-to-nearest), not stochastic.
+//
+// Quantized levels are additionally rounded to the nearest float32, so
+// every quantized value is exactly float32-representable. That invariant
+// is what lets the storage layer auto-pick a narrower lossless element
+// kind and the query engine serve quantized rows through float32/LUT
+// kernels while staying bitwise faithful to the artifact.
+//
+// The package is under the repository's bitwise determinism contract:
+// every exported function returns identical bits for every worker count.
+// Parallelism only ever splits work whose per-element results are
+// independent (element-wise maps, one grid candidate per task); each
+// reduction keeps its serial accumulation order.
 package compress
 
 import (
 	"math"
+	"sort"
 
 	"anchor/internal/embedding"
 	"anchor/internal/floats"
+	"anchor/internal/parallel"
 )
 
 // FullPrecision is the number of bits that means "no compression".
 const FullPrecision = 32
 
+// clipGrid is the quantile grid OptimalClip searches, in search order.
+var clipGrid = [...]float64{0.5, 0.75, 0.9, 0.95, 0.99, 0.995, 0.999, 1.0}
+
+// parMinLen is the input size below which element-wise passes stay
+// serial; goroutine overhead dominates under it. Depending only on the
+// input length keeps the parallel/serial split deterministic.
+const parMinLen = 1 << 12
+
 // OptimalClip returns the clipping threshold that minimizes the mean
 // squared quantization error of uniform b-bit quantization on data,
-// searched over a grid of quantiles of |data|.
+// searched over a grid of quantiles of |data|. It runs on all CPUs; use
+// OptimalClipWorkers to bound parallelism. The result is bitwise
+// identical for every worker count.
 func OptimalClip(data []float64, bits int) float64 {
+	return OptimalClipWorkers(data, bits, 0)
+}
+
+// OptimalClipWorkers is OptimalClip with an explicit worker bound
+// (workers <= 0 means all CPUs). Each grid candidate's MSE pass keeps the
+// serial single-accumulator order and candidates are compared in fixed
+// grid order afterwards, so parallelism across candidates cannot change
+// the chosen clip.
+func OptimalClipWorkers(data []float64, bits, workers int) float64 {
 	abs := make([]float64, len(data))
-	for i, v := range data {
-		abs[i] = math.Abs(v)
-	}
+	ranges := parallel.Ranges(len(data), elemShards(len(data), workers))
+	parallel.Run(workers, len(ranges), func(s int) {
+		r := ranges[s]
+		for i := r.Lo; i < r.Hi; i++ {
+			abs[i] = math.Abs(data[i])
+		}
+	}, nil)
 	maxAbs := floats.Max(abs)
 	if maxAbs == 0 {
 		return 1
 	}
+	sort.Float64s(abs)
+	clips := make([]float64, len(clipGrid))
+	mses := make([]float64, len(clipGrid))
+	parallel.Run(workers, len(clipGrid), func(s int) {
+		clip := floats.QuantileSorted(abs, clipGrid[s])
+		clips[s], mses[s] = clip, math.Inf(1)
+		if clip > 0 {
+			mses[s] = quantMSE(data, clip, bits)
+		}
+	}, nil)
 	bestClip, bestMSE := maxAbs, math.Inf(1)
-	for _, q := range []float64{0.5, 0.75, 0.9, 0.95, 0.99, 0.995, 0.999, 1.0} {
-		clip := floats.Quantile(abs, q)
-		if clip <= 0 {
+	for s := range clipGrid {
+		if clips[s] <= 0 {
 			continue
 		}
-		mse := quantMSE(data, clip, bits)
-		if mse < bestMSE {
-			bestMSE, bestClip = mse, clip
+		if mses[s] < bestMSE {
+			bestMSE, bestClip = mses[s], clips[s]
 		}
 	}
 	return bestClip
@@ -58,7 +103,7 @@ func quantMSE(data []float64, clip float64, bits int) float64 {
 }
 
 // quantizeValue rounds v to the nearest of 2^bits equally spaced values in
-// [-clip, clip].
+// [-clip, clip], with the level itself rounded to the nearest float32.
 func quantizeValue(v, clip float64, bits int) float64 {
 	levels := float64(int64(1) << uint(bits)) // 2^b
 	if v > clip {
@@ -77,42 +122,70 @@ func quantizeValue(v, clip float64, bits int) float64 {
 	if idx > max {
 		idx = max
 	}
-	return idx*step - clip
+	// The float32 rounding shifts each level by at most 2^-24·clip, far
+	// below the quantization step for every b <= 24, so requantizing a
+	// quantized value is still exact (idempotence) while every output
+	// becomes exactly float32-representable.
+	return float64(float32(idx*step - clip))
 }
 
 // QuantizeValues quantizes data in place to the given number of bits with
 // the given clip; bits >= 32 leaves the data unchanged. It is the raw
 // primitive behind Quantize, exported for non-word-embedding matrices
-// (knowledge graph embeddings, BERT features).
+// (knowledge graph embeddings, BERT features). It runs on all CPUs; use
+// QuantizeValuesWorkers to bound parallelism.
 func QuantizeValues(data []float64, bits int, clip float64) {
+	QuantizeValuesWorkers(data, bits, clip, 0)
+}
+
+// QuantizeValuesWorkers is QuantizeValues with an explicit worker bound
+// (workers <= 0 means all CPUs). Every element maps independently to its
+// own slot, so the result is bitwise identical for every worker count.
+func QuantizeValuesWorkers(data []float64, bits int, clip float64, workers int) {
 	if bits >= FullPrecision {
 		return
 	}
 	if bits < 1 {
 		panic("compress: bits must be >= 1")
 	}
-	for i, v := range data {
-		data[i] = quantizeValue(v, clip, bits)
+	ranges := parallel.Ranges(len(data), elemShards(len(data), workers))
+	parallel.Run(workers, len(ranges), func(s int) {
+		r := ranges[s]
+		for i := r.Lo; i < r.Hi; i++ {
+			data[i] = quantizeValue(data[i], clip, bits)
+		}
+	}, nil)
+}
+
+// elemShards picks the shard count for an element-wise pass: serial for
+// tiny inputs, one shard per worker otherwise.
+func elemShards(n, workers int) int {
+	if n < parMinLen {
+		return 1
 	}
+	return parallel.Workers(workers)
 }
 
 // Quantize returns a copy of e uniformly quantized to the given number of
 // bits using clip as the clipping threshold. bits == 32 returns an
 // unmodified copy (full precision). The returned embedding records the
-// precision in its Meta.
+// precision and clip in its Meta.
 func Quantize(e *embedding.Embedding, bits int, clip float64) *embedding.Embedding {
+	return QuantizeWorkers(e, bits, clip, 0)
+}
+
+// QuantizeWorkers is Quantize with an explicit worker bound (workers <= 0
+// means all CPUs); the result is bitwise identical for every worker count.
+func QuantizeWorkers(e *embedding.Embedding, bits int, clip float64, workers int) *embedding.Embedding {
 	out := e.Clone()
 	out.Meta.Precision = bits
+	out.Meta.Clip = 0
 	if bits >= FullPrecision {
 		out.Meta.Precision = FullPrecision
 		return out
 	}
-	if bits < 1 {
-		panic("compress: bits must be >= 1")
-	}
-	for i, v := range out.Vectors.Data {
-		out.Vectors.Data[i] = quantizeValue(v, clip, bits)
-	}
+	out.Meta.Clip = clip
+	QuantizeValuesWorkers(out.Vectors.Data, bits, clip, workers)
 	return out
 }
 
@@ -120,23 +193,33 @@ func Quantize(e *embedding.Embedding, bits int, clip float64) *embedding.Embeddi
 // precision, computing the MSE-optimal clip on x and sharing it with
 // xTilde exactly as the paper prescribes.
 func QuantizePair(x, xTilde *embedding.Embedding, bits int) (*embedding.Embedding, *embedding.Embedding) {
+	return QuantizePairWorkers(x, xTilde, bits, 0)
+}
+
+// QuantizePairWorkers is QuantizePair with an explicit worker bound
+// (workers <= 0 means all CPUs); the result is bitwise identical for
+// every worker count.
+func QuantizePairWorkers(x, xTilde *embedding.Embedding, bits, workers int) (*embedding.Embedding, *embedding.Embedding) {
 	if bits >= FullPrecision {
 		qx, qy := x.Clone(), xTilde.Clone()
 		qx.Meta.Precision, qy.Meta.Precision = FullPrecision, FullPrecision
 		return qx, qy
 	}
-	clip := OptimalClip(x.Vectors.Data, bits)
-	return Quantize(x, bits, clip), Quantize(xTilde, bits, clip)
+	clip := OptimalClipWorkers(x.Vectors.Data, bits, workers)
+	return QuantizeWorkers(x, bits, clip, workers), QuantizeWorkers(xTilde, bits, clip, workers)
 }
 
 // Levels returns the set of representable values for the given clip and
-// bit width, useful for tests and documentation.
+// bit width (each rounded to the nearest float32, matching Quantize),
+// ascending. A quantized artifact's values are exactly these levels,
+// which is what the code-matrix storage kind and the LUT scoring kernel
+// decode through.
 func Levels(clip float64, bits int) []float64 {
 	n := int64(1) << uint(bits)
 	step := 2 * clip / float64(n-1)
 	out := make([]float64, n)
 	for i := int64(0); i < n; i++ {
-		out[i] = float64(i)*step - clip
+		out[i] = float64(float32(float64(i)*step - clip))
 	}
 	return out
 }

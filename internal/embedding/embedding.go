@@ -33,6 +33,13 @@ type Meta struct {
 	Dim       int
 	Seed      int64
 	Precision int // bits per entry; 32 means uncompressed
+	// Clip is the quantization clipping threshold used when Precision <
+	// 32 (zero for full-precision embeddings). Recording it makes a
+	// quantized artifact self-describing: the 2^Precision representable
+	// levels are a pure function of (Clip, Precision), which is what lets
+	// the storage layer re-pack rows as b-bit codes and the query engine
+	// serve them through the LUT kernel.
+	Clip float64
 }
 
 // String renders the provenance as a stable identifier.

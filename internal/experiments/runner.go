@@ -200,8 +200,47 @@ func (r *Runner) QuantizedPairCtx(ctx context.Context, algo string, dim, prec in
 		if err != nil {
 			return nil, nil, err
 		}
-		q17, q18 := compress.QuantizePair(e17, e18, prec)
+		q17, q18 := compress.QuantizePairWorkers(e17, e18, prec, r.Cfg.Workers)
 		return q17, q18, nil
+	})
+}
+
+// QuantizedSnapshotCtx returns the single unaligned embedding for (algo,
+// year, dim, seed) compressed to the given precision, for the serving
+// read path. The clip is always learned on the Wiki'17 snapshot, matching
+// QuantizedPairCtx's shared-clip convention, so the 2017 and 2018
+// snapshots of one cell stay directly comparable. bits >= 32 is the
+// full-precision TrainCtx artifact; quantized variants are store
+// artifacts keyed by their precision.
+func (r *Runner) QuantizedSnapshotCtx(ctx context.Context, algo string, year, dim, bits int, seed int64) (*embedding.Embedding, error) {
+	if bits >= compress.FullPrecision {
+		return r.TrainCtx(ctx, algo, year, dim, seed)
+	}
+	if bits < 1 {
+		return nil, fmt.Errorf("experiments: precision must be in 1..32, got %d", bits)
+	}
+	var tag string
+	switch year {
+	case 2017:
+		tag = "wiki17"
+	case 2018:
+		tag = "wiki18"
+	default:
+		return nil, fmt.Errorf("experiments: year must be 2017 or 2018, got %d", year)
+	}
+	return r.store.Get(r.embKey(algo, tag, dim, seed, bits), true, func() (*embedding.Embedding, error) {
+		e17, err := r.TrainCtx(ctx, algo, 2017, dim, seed)
+		if err != nil {
+			return nil, err
+		}
+		clip := compress.OptimalClipWorkers(e17.Vectors.Data, bits, r.Cfg.Workers)
+		e := e17
+		if year == 2018 {
+			if e, err = r.TrainCtx(ctx, algo, 2018, dim, seed); err != nil {
+				return nil, err
+			}
+		}
+		return compress.QuantizeWorkers(e, bits, clip, r.Cfg.Workers), nil
 	})
 }
 

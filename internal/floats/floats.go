@@ -237,6 +237,16 @@ func Quantile(x []float64, q float64) float64 {
 	}
 	s := Clone(x)
 	sort.Float64s(s)
+	return QuantileSorted(s, q)
+}
+
+// QuantileSorted is Quantile on data the caller has already sorted
+// ascending; it performs no allocation, so repeated quantiles of the same
+// slice can share one sort.
+func QuantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		panic("floats: QuantileSorted of empty slice")
+	}
 	if q <= 0 {
 		return s[0]
 	}

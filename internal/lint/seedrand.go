@@ -17,6 +17,8 @@ var DeterministicPackages = []string{
 	"anchor/internal/nn",
 	"anchor/internal/autodiff",
 	"anchor/internal/query",
+	"anchor/internal/compress",
+	"anchor/internal/selection",
 	"anchor/internal/tasks/...",
 }
 

@@ -1,0 +1,219 @@
+package matrix
+
+// Packed code-matrix representation for b-bit uniformly quantized rows
+// (b in 1..8). A Codes matrix stores each entry as an index into a shared
+// table of 2^b decode levels, packed LSB-first into bytes with rows
+// aligned to byte boundaries — 8 to 64 entries per 8 bytes of float64.
+//
+// Scoring is decode-free: MulABTIntoLUT builds, per query row, a lookup
+// table lut[k][v] = q[k]·level[v] (d·2^b float64 products) and then sums
+// table entries selected by each candidate row's codes. Each product
+// q[k]·level[code] is the exact float64 multiplication the dequantized
+// reference performs, and each output element keeps one float64
+// accumulator in ascending k, so results are bitwise identical to
+// MulABTInto against the dequantized rows — for every worker count,
+// batch shape, and bit width.
+
+import (
+	"fmt"
+	"sort"
+
+	"anchor/internal/parallel"
+)
+
+// Codes is a rows-by-cols matrix of b-bit level indices with its decode
+// table. Data holds rows*RowBytes bytes; row i occupies
+// Data[i*RowBytes:(i+1)*RowBytes], codes packed LSB-first.
+type Codes struct {
+	Rows, Cols int
+	Bits       int       // bits per code, 1..8
+	Levels     []float64 // 2^Bits decode levels, strictly ascending
+	RowBytes   int       // bytes per packed row: ceil(Cols*Bits/8)
+	Data       []byte
+}
+
+// NewCodes returns a zeroed code matrix with the given shape and decode
+// table. It panics unless bits is in 1..8 and levels has exactly 2^bits
+// strictly ascending entries.
+func NewCodes(rows, cols, bits int, levels []float64) *Codes {
+	if bits < 1 || bits > 8 {
+		panic(fmt.Sprintf("matrix: Codes bits %d out of range 1..8", bits))
+	}
+	if len(levels) != 1<<uint(bits) {
+		panic(fmt.Sprintf("matrix: Codes wants %d levels, got %d", 1<<uint(bits), len(levels)))
+	}
+	for i := 1; i < len(levels); i++ {
+		if !(levels[i] > levels[i-1]) {
+			panic(fmt.Sprintf("matrix: Codes levels not strictly ascending at %d", i))
+		}
+	}
+	rowBytes := (cols*bits + 7) / 8
+	return &Codes{
+		Rows: rows, Cols: cols, Bits: bits,
+		Levels:   append([]float64(nil), levels...),
+		RowBytes: rowBytes,
+		Data:     make([]byte, rows*rowBytes),
+	}
+}
+
+// NewCodesFromDense packs m into b-bit codes over the given decode
+// levels. Every value of m must be exactly one of the levels; the first
+// value that is not yields an error (the matrix is not b-bit quantized
+// on this grid, so a lossless code representation does not exist).
+func NewCodesFromDense(m *Dense, levels []float64, bits int) (*Codes, error) {
+	c := NewCodes(m.Rows, m.Cols, bits, levels)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for k, v := range row {
+			idx := sort.SearchFloat64s(c.Levels, v)
+			if idx >= len(c.Levels) || c.Levels[idx] != v {
+				return nil, fmt.Errorf("matrix: value %v at (%d,%d) is not on the %d-bit level grid", v, i, k, bits)
+			}
+			c.set(i, k, uint8(idx))
+		}
+	}
+	return c, nil
+}
+
+// set stores code at entry (i, k). Codes are packed LSB-first: entry k of
+// a row occupies bits [k*Bits, (k+1)*Bits) of the row's bit stream.
+func (c *Codes) set(i, k int, code uint8) {
+	row := c.Data[i*c.RowBytes : (i+1)*c.RowBytes]
+	off := k * c.Bits
+	bi, sh := off>>3, uint(off&7)
+	row[bi] |= code << sh
+	if spill := sh + uint(c.Bits); spill > 8 {
+		row[bi+1] |= code >> (8 - sh)
+	}
+}
+
+// At returns the code at entry (i, k).
+func (c *Codes) At(i, k int) uint8 {
+	row := c.Data[i*c.RowBytes : (i+1)*c.RowBytes]
+	off := k * c.Bits
+	bi, sh := off>>3, uint(off&7)
+	v := uint16(row[bi])
+	if sh+uint(c.Bits) > 8 {
+		v |= uint16(row[bi+1]) << 8
+	}
+	return uint8(v>>sh) & uint8(1<<uint(c.Bits)-1)
+}
+
+// DequantizeRow writes row i decoded through the level table into dst
+// (length Cols).
+func (c *Codes) DequantizeRow(i int, dst []float64) {
+	row := c.Data[i*c.RowBytes : (i+1)*c.RowBytes]
+	switch c.Bits {
+	case 8:
+		for k, code := range row[:c.Cols] {
+			dst[k] = c.Levels[code]
+		}
+	default:
+		var buf, nbits uint
+		mask := uint(1)<<uint(c.Bits) - 1
+		bi := 0
+		for k := 0; k < c.Cols; k++ {
+			for nbits < uint(c.Bits) {
+				buf |= uint(row[bi]) << nbits
+				bi++
+				nbits += 8
+			}
+			dst[k] = c.Levels[buf&mask]
+			buf >>= uint(c.Bits)
+			nbits -= uint(c.Bits)
+		}
+	}
+}
+
+// Dense returns the fully dequantized float64 matrix — the reference
+// representation golden tests score against.
+func (c *Codes) Dense() *Dense {
+	out := NewDense(c.Rows, c.Cols)
+	for i := 0; i < c.Rows; i++ {
+		c.DequantizeRow(i, out.Row(i))
+	}
+	return out
+}
+
+// SizeBytes returns the packed payload size.
+func (c *Codes) SizeBytes() int { return len(c.Data) }
+
+// MulABTIntoLUT computes a*bᵀ into dst for float64 query rows a against
+// packed candidate rows b, and returns dst. dst must be a.Rows-by-b.Rows
+// and must not alias a. Per query row it materializes the d·2^b table of
+// products q[k]·level[v] once, then every candidate dot product is Cols
+// table lookups and adds — no decode, and the only multiplications are
+// the exact ones the dequantized reference performs. Workers banding
+// follows the kernel contract: bands own disjoint output rows, results
+// are bitwise identical to MulABTInto(dst, a, b.Dense()) for every
+// worker count.
+func MulABTIntoLUT(dst, a *Dense, b *Codes, workers int) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: MulABTLUT col mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	checkDst(dst, a.Rows, b.Rows)
+	nlv := len(b.Levels)
+	runBanded(a.Rows, a.Rows*a.Cols*b.Rows, workers, func(band parallel.Range) {
+		lut := make([]float64, a.Cols*nlv)
+		for i := band.Lo; i < band.Hi; i++ {
+			arow := a.Row(i)
+			for k, qv := range arow {
+				base := lut[k*nlv : (k+1)*nlv]
+				for v, lvl := range b.Levels {
+					base[v] = qv * lvl
+				}
+			}
+			orow := dst.Row(i)
+			switch b.Bits {
+			case 8:
+				for j := 0; j < b.Rows; j++ {
+					row := b.Data[j*b.RowBytes : j*b.RowBytes+b.Cols]
+					var s float64
+					for k, code := range row {
+						s += lut[k<<8+int(code)]
+					}
+					orow[j] = s
+				}
+			case 4:
+				for j := 0; j < b.Rows; j++ {
+					row := b.Data[j*b.RowBytes : (j+1)*b.RowBytes]
+					var s float64
+					k := 0
+					for _, by := range row {
+						s += lut[k<<4+int(by&15)]
+						k++
+						if k == b.Cols {
+							break
+						}
+						s += lut[k<<4+int(by>>4)]
+						k++
+						if k == b.Cols {
+							break
+						}
+					}
+					orow[j] = s
+				}
+			default:
+				mask := uint(1)<<uint(b.Bits) - 1
+				for j := 0; j < b.Rows; j++ {
+					row := b.Data[j*b.RowBytes : (j+1)*b.RowBytes]
+					var s float64
+					var buf, nbits uint
+					bi := 0
+					for k := 0; k < b.Cols; k++ {
+						for nbits < uint(b.Bits) {
+							buf |= uint(row[bi]) << nbits
+							bi++
+							nbits += 8
+						}
+						s += lut[k*nlv+int(buf&mask)]
+						buf >>= uint(b.Bits)
+						nbits -= uint(b.Bits)
+					}
+					orow[j] = s
+				}
+			}
+		}
+	})
+	return dst
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"anchor/internal/compress"
 	"anchor/internal/embedding"
 	"anchor/internal/matrix"
 	"anchor/internal/store"
@@ -107,4 +108,69 @@ func BenchmarkNeighborsServe(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkNeighborsPrecision measures the precision-parametrized read
+// path at the acceptance scale (|V| = 10k, d = 100): the same batched
+// 64-client workload served from float64 rows, float32 rows (b=16), and
+// packed codes through the LUT kernel (b=8, b=1). Each sub-benchmark
+// reports queries/s and bytes/query — the resident snapshot bytes every
+// query streams — so the quantized rows' memory win is machine-readable
+// next to the throughput numbers.
+func BenchmarkNeighborsPrecision(b *testing.B) {
+	const n, d, clients = 10_000, 100, 64
+	rng := rand.New(rand.NewSource(3))
+	e := embedding.New(n, d)
+	e.Vectors = matrix.NewDenseRand(n, d, 1, rng)
+	e.Words = make([]string, n)
+	for i := range e.Words {
+		e.Words[i] = fmt.Sprintf("w%05d", i)
+	}
+	e.Meta = embedding.Meta{Algorithm: "bench", Corpus: "wiki17", Dim: d, Seed: 1, Precision: 32}
+	src := func(ctx context.Context, ref Ref) (*embedding.Embedding, error) {
+		if ref.Bits == 0 || ref.Bits >= 32 {
+			return e, nil
+		}
+		clip := compress.OptimalClip(e.Vectors.Data, ref.Bits)
+		return compress.Quantize(e, ref.Bits, clip), nil
+	}
+	words := make([]string, clients)
+	for i := range words {
+		words[i] = e.Words[(i*151)%n]
+	}
+
+	for _, bits := range []int{32, 16, 8, 1} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			ref := Ref{Algo: "bench", Year: 2017, Dim: d, Seed: 1}
+			if bits < 32 {
+				ref.Bits = bits
+			}
+			eng := New(src, WithWindow(time.Millisecond), WithMaxBatch(clients))
+			if _, err := eng.Neighbors(context.Background(), ref, words[0], 5); err != nil {
+				b.Fatal(err)
+			}
+			var snapBytes int64
+			for _, in := range eng.Resident() {
+				snapBytes = in.Bytes
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						if _, err := eng.Neighbors(context.Background(), ref, words[c], 5); err != nil {
+							b.Error(err)
+						}
+					}(c)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			qps := float64(clients) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "queries/s")
+			b.ReportMetric(float64(snapBytes), "bytes/query")
+		})
+	}
 }

@@ -9,11 +9,20 @@
 // internal/core uses it as the downstream-instability proxy). This
 // package makes those observations servable:
 //
-//   - Each snapshot (one Ref: algorithm, corpus year, dimension, seed) is
-//     resolved through a Source — in production the artifact store, so a
-//     warm store serves queries without retraining — and held query-ready:
+//   - Each snapshot (one Ref: algorithm, corpus year, dimension, seed,
+//     precision) is resolved through a Source — in production the artifact
+//     store, so a warm store serves queries without retraining — and held
+//     query-ready in a byte-budgeted LRU. Full-precision snapshots keep
 //     rows L2-normalized once (cosine becomes a dot product) plus a
-//     word → row index. Query-ready snapshots live in a byte-budgeted LRU.
+//     word → row index. Quantized snapshots stay compact: b<=8-bit
+//     artifacts keep their packed codes resident (8-16x more snapshots
+//     per byte of budget) and score through the decode-free LUT kernel;
+//     float32-exact artifacts keep float32 rows and score through the
+//     widening float32 kernel. Compact modes score raw-row dot products
+//     and scale by precomputed inverse norms afterwards, an order fixed so
+//     answers are bitwise identical to dequantizing the artifact and
+//     executing the same query in float64 — for every worker count and
+//     batch shape (see the golden tests in precision_test.go).
 //   - Nearest-neighbor queries run through the blocked MulABT kernel and
 //     the bounded-heap top-k selector from internal/core. Concurrent
 //     singleton queries against the same snapshot are micro-batched: the
@@ -35,9 +44,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"anchor/internal/compress"
 	"anchor/internal/core"
 	"anchor/internal/embedding"
+	"anchor/internal/floats"
 	"anchor/internal/matrix"
+	"anchor/internal/parallel"
 )
 
 // Ref identifies one queryable embedding snapshot by provenance.
@@ -50,10 +62,18 @@ type Ref struct {
 	Dim int
 	// Seed is the training seed.
 	Seed int64
+	// Bits is the artifact precision in bits per entry; 0 (or 32) means
+	// full precision. Quantized refs resolve to quantized artifacts,
+	// which the engine keeps resident in compact form.
+	Bits int
 }
 
-// String renders the ref as a stable identifier.
+// String renders the ref as a stable identifier. Full-precision refs keep
+// the historical four-part form.
 func (r Ref) String() string {
+	if r.Bits != 0 && r.Bits != 32 {
+		return fmt.Sprintf("%s-wiki%d-d%d-s%d-b%d", r.Algo, r.Year%100, r.Dim, r.Seed, r.Bits)
+	}
 	return fmt.Sprintf("%s-wiki%d-d%d-s%d", r.Algo, r.Year%100, r.Dim, r.Seed)
 }
 
@@ -187,15 +207,102 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
-// snapshot is one query-ready resident embedding: rows normalized to unit
-// L2 norm, plus the vocabulary index. raw is the store-shared original
-// (needed for vector lookups), read-only by contract.
+// SnapshotInfo describes one resident query-ready snapshot for health
+// and capacity reporting.
+type SnapshotInfo struct {
+	// Ref is the snapshot's stable identifier.
+	Ref string `json:"ref"`
+	// Mode is the resident representation: "float64", "float32", or
+	// "codes" (packed b-bit quantized rows).
+	Mode string `json:"mode"`
+	// Bits is the artifact precision (32 = full).
+	Bits int `json:"bits"`
+	// Rows and Dim are the snapshot's shape.
+	Rows int `json:"rows"`
+	Dim  int `json:"dim"`
+	// Bytes is the snapshot's resident footprint charged against the
+	// engine budget (rows, inverse norms, decode table, word index).
+	Bytes int64 `json:"bytes"`
+}
+
+// Resident lists the resident snapshots, most recently used first, with
+// their representation and byte footprint — the per-snapshot view behind
+// /v1/healthz.
+func (e *Engine) Resident() []SnapshotInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SnapshotInfo, 0, e.lru.Len())
+	for el := e.lru.Front(); el != nil; el = el.Next() {
+		s := el.Value.(*snapshot)
+		bits := s.ref.Bits
+		if bits == 0 {
+			bits = 32
+		}
+		out = append(out, SnapshotInfo{
+			Ref:   s.ref.String(),
+			Mode:  s.mode.String(),
+			Bits:  bits,
+			Rows:  s.rows,
+			Dim:   s.dim,
+			Bytes: s.bytes,
+		})
+	}
+	return out
+}
+
+// precMode is a snapshot's resident representation.
+type precMode int
+
+const (
+	// precFloat64 is the full-precision path: the raw embedding pinned
+	// for vector lookups plus an L2-normalized float64 copy scored with
+	// the float64 kernel.
+	precFloat64 precMode = iota
+	// precFloat32 keeps raw rows as float32 (lossless for float32-exact
+	// artifacts) plus per-row inverse norms; scoring widens on the fly.
+	precFloat32
+	// precCodes keeps raw rows as packed b-bit codes plus per-row inverse
+	// norms; scoring is the decode-free LUT kernel.
+	precCodes
+)
+
+// String names the mode for health reports.
+func (m precMode) String() string {
+	switch m {
+	case precFloat32:
+		return "float32"
+	case precCodes:
+		return "codes"
+	}
+	return "float64"
+}
+
+// snapshot is one query-ready resident embedding plus its vocabulary
+// index. The resident representation depends on the artifact's precision
+// (see precMode): full-precision snapshots pin the store-shared raw
+// embedding (read-only by contract) and a normalized matrix; compact
+// snapshots pin only the narrow rows and per-row inverse norms, and
+// scale cosine scores after the raw dot product in a fixed order.
 type snapshot struct {
-	ref   Ref
-	raw   *embedding.Embedding
-	norm  *matrix.Dense
-	index map[string]int
-	bytes int64
+	ref  Ref
+	mode precMode
+
+	// precFloat64 representation.
+	raw  *embedding.Embedding
+	norm *matrix.Dense
+
+	// Compact representations (one of these, plus inv).
+	raw32 *matrix.Dense32
+	codes *matrix.Codes
+	// inv[i] is 1/||row i|| (0 for a zero row), precomputed so compact
+	// modes can turn raw dot products into cosines: sim = (dot·invQ)·invJ,
+	// in exactly that order.
+	inv []float64
+
+	rows, dim int
+	words     []string
+	index     map[string]int
+	bytes     int64
 
 	mu  sync.Mutex
 	cur *gather // open micro-batch, nil when none
@@ -265,7 +372,11 @@ func (e *Engine) snapshot(ctx context.Context, ref Ref) (*snapshot, error) {
 	}
 }
 
-// load pulls ref through the source and builds the query-ready form.
+// load pulls ref through the source and builds the query-ready form. The
+// resident representation is a pure function of the artifact: b<=8-bit
+// quantized artifacts (values on their (Clip, Precision) level grid)
+// become packed codes, other float32-exact reduced-precision artifacts
+// become float32 rows, everything else stays on the full float64 path.
 func (e *Engine) load(ctx context.Context, ref Ref) (*snapshot, error) {
 	emb, err := e.src(ctx, ref)
 	if err != nil {
@@ -276,15 +387,40 @@ func (e *Engine) load(ctx context.Context, ref Ref) (*snapshot, error) {
 	}
 	e.loads.Add(1)
 	s := &snapshot{
-		ref:  ref,
-		raw:  emb,
-		norm: core.NormalizedRows(emb, e.workers),
+		ref:   ref,
+		rows:  emb.Rows(),
+		dim:   emb.Dim(),
+		words: emb.Words,
 	}
-	// Budget accounting covers everything the snapshot pins: the
-	// normalized matrix, the raw embedding (held for vector lookups even
-	// after the artifact store evicts it), and the word index (~one map
-	// entry plus string header per word).
-	s.bytes = 2 * int64(emb.Rows()) * int64(emb.Dim()) * 8
+	b := emb.Meta.Precision
+	if b >= 1 && b <= 8 && emb.Meta.Clip > 0 {
+		if codes, err := matrix.NewCodesFromDense(emb.Vectors, compress.Levels(emb.Meta.Clip, b), b); err == nil {
+			s.mode = precCodes
+			s.codes = codes
+			s.inv = invNorms(s.rows, s.dim, e.workers, codes.DequantizeRow)
+		}
+	}
+	if s.mode == precFloat64 && b >= 1 && b < 32 && matrix.Float32Exact(emb.Vectors.Data) {
+		s.mode = precFloat32
+		s.raw32 = matrix.NewDense32From(emb.Vectors)
+		s.inv = invNorms(s.rows, s.dim, e.workers, s.raw32.WidenRow)
+	}
+	// Budget accounting covers everything the snapshot pins. Full
+	// precision: the normalized matrix plus the raw embedding (held for
+	// vector lookups even after the artifact store evicts it). Compact
+	// modes: the narrow rows, the inverse norms, and (for codes) the
+	// decode table. Either way, the word index adds ~one map entry plus
+	// string header per word.
+	switch s.mode {
+	case precCodes:
+		s.bytes = int64(len(s.codes.Data)) + int64(s.rows)*8 + int64(len(s.codes.Levels))*8
+	case precFloat32:
+		s.bytes = int64(s.rows)*int64(s.dim)*4 + int64(s.rows)*8
+	default:
+		s.raw = emb
+		s.norm = core.NormalizedRows(emb, e.workers)
+		s.bytes = 2 * int64(s.rows) * int64(s.dim) * 8
+	}
 	if emb.Words != nil {
 		s.index = make(map[string]int, len(emb.Words))
 		for id, w := range emb.Words {
@@ -293,6 +429,25 @@ func (e *Engine) load(ctx context.Context, ref Ref) (*snapshot, error) {
 		}
 	}
 	return s, nil
+}
+
+// invNorms computes per-row inverse L2 norms (0 for zero rows) for a
+// matrix presented row-by-row through fill. Rows are independent, so
+// banding is bitwise invariant for every worker count; each norm is the
+// same floats.Norm the dequantized float64 reference computes.
+func invNorms(rows, cols, workers int, fill func(i int, dst []float64)) []float64 {
+	inv := make([]float64, rows)
+	bands := parallel.Ranges(rows, parallel.Workers(workers))
+	parallel.Run(workers, len(bands), func(sh int) {
+		row := make([]float64, cols)
+		for i := bands[sh].Lo; i < bands[sh].Hi; i++ {
+			fill(i, row)
+			if n := floats.Norm(row); n != 0 {
+				inv[i] = 1 / n
+			}
+		}
+	}, nil)
+	return inv
 }
 
 // insertLocked publishes a loaded snapshot and applies the byte budget.
@@ -332,11 +487,12 @@ func (e *Engine) Words(ctx context.Context, ref Ref) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return s.raw.Rows(), nil
+	return s.rows, nil
 }
 
 // Vector returns the word's row id and a copy of its (unnormalized)
-// embedding vector in the snapshot under ref.
+// embedding vector in the snapshot under ref. Compact modes reconstruct
+// the row exactly: both are lossless representations of the artifact.
 func (e *Engine) Vector(ctx context.Context, ref Ref, word string) (int, []float64, error) {
 	s, err := e.snapshot(ctx, ref)
 	if err != nil {
@@ -346,7 +502,16 @@ func (e *Engine) Vector(ctx context.Context, ref Ref, word string) (int, []float
 	if err != nil {
 		return 0, nil, err
 	}
-	return id, append([]float64(nil), s.raw.Vector(id)...), nil
+	vec := make([]float64, s.dim)
+	switch s.mode {
+	case precCodes:
+		s.codes.DequantizeRow(id, vec)
+	case precFloat32:
+		s.raw32.WidenRow(id, vec)
+	default:
+		copy(vec, s.raw.Vector(id))
+	}
+	return id, vec, nil
 }
 
 // Neighbors returns the word's k nearest neighbors by cosine similarity
@@ -413,8 +578,8 @@ func (s *snapshot) neighbors(ans neighborAnswer) []Neighbor {
 	ns := make([]Neighbor, len(ans.idxs))
 	for i, ix := range ans.idxs {
 		ns[i] = Neighbor{ID: int(ix), Score: ans.sims[i]}
-		if s.raw.Words != nil {
-			ns[i].Word = s.raw.Words[ix]
+		if s.words != nil {
+			ns[i].Word = s.words[ix]
 		}
 	}
 	return ns
@@ -478,6 +643,7 @@ var computeScratch = sync.Pool{New: func() any { return &batchScratch{} }}
 
 type batchScratch struct {
 	qb, sb []float64
+	qb32   []float32
 	sel    core.TopKSelector
 }
 
@@ -491,22 +657,61 @@ func (sc *batchScratch) blocks(q, d, n int) (qb, sb *matrix.Dense) {
 	return matrix.NewDenseData(q, d, sc.qb[:q*d]), matrix.NewDenseData(q, n, sc.sb[:q*n])
 }
 
+func (sc *batchScratch) block32(q, d int) *matrix.Dense32 {
+	if cap(sc.qb32) < q*d {
+		sc.qb32 = make([]float32, q*d)
+	}
+	return &matrix.Dense32{Rows: q, Cols: d, Data: sc.qb32[:q*d]}
+}
+
+func (sc *batchScratch) simBlock(q, n int) *matrix.Dense {
+	if cap(sc.sb) < q*n {
+		sc.sb = make([]float64, q*n)
+	}
+	return matrix.NewDenseData(q, n, sc.sb[:q*n])
+}
+
 // compute scores one batch of neighbor queries as a single query-block
-// product against the snapshot's normalized matrix and delivers each
-// query's top-k. Every similarity is an independent single-accumulator
-// dot product, so each answer is bitwise independent of the batch
-// composition and the worker count.
+// product against the snapshot's resident rows and delivers each query's
+// top-k. Every similarity is an independent single-accumulator dot
+// product (plus, in compact modes, a fixed-order scale by the two inverse
+// norms), so each answer is bitwise independent of the batch composition
+// and the worker count — and, in compact modes, bitwise identical to
+// dequantizing the artifact and executing the same query in float64.
 func (e *Engine) compute(s *snapshot, reqs []*neighborReq) {
 	e.batches.Add(1)
 	e.batchedQueries.Add(int64(len(reqs)))
-	n, d := s.norm.Rows, s.norm.Cols
+	n, d := s.rows, s.dim
 	sc := computeScratch.Get().(*batchScratch)
 	defer computeScratch.Put(sc)
-	qb, sb := sc.blocks(len(reqs), d, n)
-	for i, r := range reqs {
-		copy(qb.Row(i), s.norm.Row(r.id))
+	var sb *matrix.Dense
+	switch s.mode {
+	case precCodes:
+		// Query rows dequantize to their exact raw float64 values; the LUT
+		// kernel then scores them against the packed rows decode-free.
+		var qb *matrix.Dense
+		qb, sb = sc.blocks(len(reqs), d, n)
+		for i, r := range reqs {
+			s.codes.DequantizeRow(r.id, qb.Row(i))
+		}
+		matrix.MulABTIntoLUT(sb, qb, s.codes, e.workers)
+		s.scaleSims(sb, reqs)
+	case precFloat32:
+		qb32 := sc.block32(len(reqs), d)
+		sb = sc.simBlock(len(reqs), n)
+		for i, r := range reqs {
+			copy(qb32.Row(i), s.raw32.Row(r.id))
+		}
+		matrix.MulABTInto32(sb, qb32, s.raw32, e.workers)
+		s.scaleSims(sb, reqs)
+	default:
+		var qb *matrix.Dense
+		qb, sb = sc.blocks(len(reqs), d, n)
+		for i, r := range reqs {
+			copy(qb.Row(i), s.norm.Row(r.id))
+		}
+		matrix.MulABTInto(sb, qb, s.norm, e.workers)
 	}
-	matrix.MulABTInto(sb, qb, s.norm, e.workers)
 	for i, r := range reqs {
 		sims := sb.Row(i)
 		idxs := sc.sel.Select(sims, r.id, r.k, make([]int32, min(r.k, n)))
@@ -515,6 +720,20 @@ func (e *Engine) compute(s *snapshot, reqs []*neighborReq) {
 			scores[j] = sims[ix]
 		}
 		r.out <- neighborAnswer{idxs: idxs, sims: scores}
+	}
+}
+
+// scaleSims turns raw-row dot products into cosine similarities using the
+// precomputed inverse norms: sim = (dot·invQ)·invJ, in exactly that
+// order for every element — the same two multiplications, in the same
+// order, the dequantized float64 reference performs.
+func (s *snapshot) scaleSims(sb *matrix.Dense, reqs []*neighborReq) {
+	for i, r := range reqs {
+		sims := sb.Row(i)
+		qinv := s.inv[r.id]
+		for j := range sims {
+			sims[j] = (sims[j] * qinv) * s.inv[j]
+		}
 	}
 }
 

@@ -177,7 +177,15 @@ type healthzResponse struct {
 		Evictions      int64 `json:"evictions"`
 		Batches        int64 `json:"batches"`
 		BatchedQueries int64 `json:"batched_queries"`
+		// ResidentBytes totals the bytes pinned by resident snapshots.
+		ResidentBytes int64 `json:"resident_bytes"`
+		// Snapshots lists the resident snapshots (most recently used
+		// first) with their precision mode and footprint.
+		Snapshots []anchor.SnapshotInfo `json:"snapshots"`
 	} `json:"query"`
+	// ServingBudgetBits is the serving-memory budget (dim*bits) used to
+	// auto-select cells for dim-0 queries; 0 when disabled.
+	ServingBudgetBits int `json:"serving_budget_bits,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -201,6 +209,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp.Query.Evictions = qs.Evictions
 	resp.Query.Batches = qs.Batches
 	resp.Query.BatchedQueries = qs.BatchedQueries
+	resp.Query.Snapshots = s.svc.ResidentSnapshots()
+	for _, in := range resp.Query.Snapshots {
+		resp.Query.ResidentBytes += in.Bytes
+	}
+	resp.ServingBudgetBits = s.svc.ServingBudget()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -306,13 +319,16 @@ func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) {
 
 // queryOptions assembles the Service query options shared by the read
 // path handlers. Zero values select the service defaults.
-func queryOptions(year, k int, seed int64) []anchor.QueryOption {
+func queryOptions(year, k, bits int, seed int64) []anchor.QueryOption {
 	var opts []anchor.QueryOption
 	if year != 0 {
 		opts = append(opts, anchor.QueryYear(year))
 	}
 	if k != 0 {
 		opts = append(opts, anchor.QueryK(k))
+	}
+	if bits != 0 {
+		opts = append(opts, anchor.QueryPrecision(bits))
 	}
 	if seed != 0 {
 		opts = append(opts, anchor.QuerySeed(seed))
@@ -328,12 +344,12 @@ func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	var year, dim int
+	var year, dim, bits int
 	var seed int64
 	for _, p := range []struct {
 		name string
 		dst  *int
-	}{{"year", &year}, {"dim", &dim}} {
+	}{{"year", &year}, {"dim", &dim}, {"bits", &bits}} {
 		if v := q.Get(p.name); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil {
@@ -358,7 +374,7 @@ func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
 			words = append(words, part)
 		}
 	}
-	rep, err := s.svc.Query(r.Context(), q.Get("algo"), dim, words, queryOptions(year, 0, seed)...)
+	rep, err := s.svc.Query(r.Context(), q.Get("algo"), dim, words, queryOptions(year, 0, bits, seed)...)
 	if err != nil {
 		s.fail(w, r, err)
 		return
@@ -373,7 +389,11 @@ type neighborsRequest struct {
 	Dim   int      `json:"dim"`
 	K     int      `json:"k"`
 	Year  int      `json:"year"`
-	Seed  int64    `json:"seed"`
+	// Bits selects the served precision (1..32; 0 = service default).
+	// Dim 0 with a serving budget configured has the (dim, bits) cell
+	// auto-selected.
+	Bits int   `json:"bits"`
+	Seed int64 `json:"seed"`
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
@@ -386,7 +406,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rep, err := s.svc.Neighbors(r.Context(), req.Algo, req.Dim, req.Words,
-		queryOptions(req.Year, req.K, req.Seed)...)
+		queryOptions(req.Year, req.K, req.Bits, req.Seed)...)
 	if err != nil {
 		s.fail(w, r, err)
 		return
@@ -400,7 +420,9 @@ type neighborDeltaRequest struct {
 	Words []string `json:"words"`
 	Dim   int      `json:"dim"`
 	K     int      `json:"k"`
-	Seed  int64    `json:"seed"`
+	// Bits selects the served precision (1..32; 0 = service default).
+	Bits int   `json:"bits"`
+	Seed int64 `json:"seed"`
 }
 
 func (s *Server) handleNeighborDelta(w http.ResponseWriter, r *http.Request) {
@@ -413,7 +435,7 @@ func (s *Server) handleNeighborDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rep, err := s.svc.NeighborDelta(r.Context(), req.Algo, req.Dim, req.Words,
-		queryOptions(0, req.K, req.Seed)...)
+		queryOptions(0, req.K, req.Bits, req.Seed)...)
 	if err != nil {
 		s.fail(w, r, err)
 		return

@@ -6,9 +6,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strings"
 	"unsafe"
 
+	"anchor/internal/compress"
 	"anchor/internal/embedding"
 	"anchor/internal/matrix"
 )
@@ -20,11 +22,11 @@ import (
 // header check — the payload bytes are reinterpreted in place as the
 // embedding's float64 storage with no per-row allocation and no copy.
 //
-// Layout (all integers little-endian):
+// Version 2 layout (all integers little-endian):
 //
 //	[0:4)   magic "ANCB"
-//	[4:8)   format version (currently 1)
-//	[8:12)  element kind: 0 = float64, 1 = float32
+//	[4:8)   format version (currently 2)
+//	[8:12)  element kind: 0 = float64, 1 = float32, 2 = quantized codes
 //	[12:16) Meta.Dim
 //	[16:24) rows
 //	[24:32) cols
@@ -34,16 +36,27 @@ import (
 //	[48:52) len(corpus string)
 //	[52:56) len(words blob)
 //	[56:64) payload offset (from file start, 64-byte aligned)
-//	[64:..) algorithm, corpus, words ("\n"-joined), zero padding
-//	[payload offset:) rows x cols elements, row-major
+//	[64:72) Meta.Clip (float64 bits; quantization clipping threshold)
+//	[72:76) code bits (= Meta.Precision for the quantized kind, else 0)
+//	[76:80) reserved (zero)
+//	[80:..) algorithm, corpus, words ("\n"-joined), zero padding
+//	[payload offset:) payload, row-major
+//
+// Version 1 artifacts (64-byte header, no clip/code-bits fields, kinds 0
+// and 1 only) remain readable; the clip decodes as zero.
 //
 // Float64 payloads preserve bits exactly, so a binary load is bitwise
 // identical to the gob artifact it was written alongside. Float32 payloads
 // store float32(v) per element — lossless exactly when every value is
-// float32-representable (e.g. heavily quantized embeddings), at half the
-// bytes.
+// float32-representable — at half the bytes. Quantized payloads store each
+// element as a b-bit index into the 2^b level grid determined by
+// (Meta.Clip, Meta.Precision), packed LSB-first with rows byte-aligned:
+// 8-64x smaller than float64 and lossless exactly when every value sits on
+// the grid, which is how compress.Quantize produces artifacts (levels are
+// float32-rounded by construction). PickKind chooses the smallest kind
+// that is lossless for a given embedding.
 
-// ElemKind selects the binary payload's element width.
+// ElemKind selects the binary payload's element representation.
 type ElemKind uint32
 
 const (
@@ -52,15 +65,20 @@ const (
 	// Float32 stores float32(v) per element: half the bytes, exact only
 	// for float32-representable values.
 	Float32 ElemKind = 1
+	// Quantized stores each element as a packed b-bit code over the level
+	// grid of (Meta.Clip, Meta.Precision): exact only for b-bit quantized
+	// embeddings, at b bits per element instead of 64.
+	Quantized ElemKind = 2
 )
 
 const (
 	binMagic = "ANCB"
 	// BinaryVersion is the current binary artifact format version. Readers
-	// reject other versions: the format evolves by bumping it.
-	BinaryVersion = 1
-	binHeaderLen  = 64
-	binAlign      = 64
+	// accept this and version 1; the format evolves by bumping it.
+	BinaryVersion  = 2
+	binHeaderLenV1 = 64
+	binHeaderLen   = 80
+	binAlign       = 64
 )
 
 // BinaryExt is the file extension of binary artifacts in the disk tier.
@@ -81,6 +99,31 @@ func elemSize(kind ElemKind) int {
 	return 8
 }
 
+// codeRowBytes is the packed size of one row of b-bit codes.
+func codeRowBytes(cols, bits int) int { return (cols*bits + 7) / 8 }
+
+// payloadSize returns the payload byte count for a rows-by-cols matrix of
+// the given kind (codeBits is used only by the quantized kind).
+func payloadSize(rows, cols int, kind ElemKind, codeBits int) int {
+	if kind == Quantized {
+		return rows * codeRowBytes(cols, codeBits)
+	}
+	return rows * cols * elemSize(kind)
+}
+
+// kindName names an element kind for error messages and health reports.
+func kindName(kind ElemKind) string {
+	switch kind {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	case Quantized:
+		return "quantized"
+	}
+	return fmt.Sprintf("kind%d", kind)
+}
+
 // wordsBlob joins the vocabulary into the on-disk blob. Words cannot
 // contain "\n" (the corpus tokenizer never produces one); an embedding
 // with no vocabulary stores an empty blob.
@@ -98,11 +141,63 @@ func splitWordsBlob(blob []byte) []string {
 	return strings.Split(string(blob), "\n")
 }
 
+// quantGrid returns the level grid a quantized payload of e decodes
+// through, or nil when e's Meta does not describe a b<=8 quantization.
+func quantGrid(e *embedding.Embedding) []float64 {
+	b := e.Meta.Precision
+	if b < 1 || b > 8 || !(e.Meta.Clip > 0) || math.IsInf(e.Meta.Clip, 0) {
+		return nil
+	}
+	return compress.Levels(e.Meta.Clip, b)
+}
+
+// onGrid reports whether every value of data is exactly one of the
+// ascending levels.
+func onGrid(data []float64, levels []float64) bool {
+	for _, v := range data {
+		i := sort.SearchFloat64s(levels, v)
+		if i >= len(levels) || levels[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// PickKind returns the smallest element kind that stores e losslessly:
+// packed b-bit codes when the embedding is b<=8-bit quantized and every
+// value sits on its (Clip, Precision) level grid, float32 when every
+// value is float32-representable, float64 otherwise. Artifacts written
+// with the picked kind decode to bitwise identical embeddings.
+func PickKind(e *embedding.Embedding) ElemKind {
+	if lv := quantGrid(e); lv != nil && onGrid(e.Vectors.Data, lv) {
+		return Quantized
+	}
+	if matrix.Float32Exact(e.Vectors.Data) {
+		return Float32
+	}
+	return Float64
+}
+
 // WriteBinary writes e to w in the binary artifact format with the given
 // payload element kind.
 func WriteBinary(w io.Writer, e *embedding.Embedding, kind ElemKind) error {
-	if kind != Float64 && kind != Float32 {
+	if kind != Float64 && kind != Float32 && kind != Quantized {
 		return fmt.Errorf("store: unknown element kind %d", kind)
+	}
+	var codes *matrix.Codes
+	codeBits := 0
+	if kind == Quantized {
+		lv := quantGrid(e)
+		if lv == nil {
+			return fmt.Errorf("store: quantized kind needs 1..8-bit precision and a positive clip, have b=%d clip=%v",
+				e.Meta.Precision, e.Meta.Clip)
+		}
+		var err error
+		codes, err = matrix.NewCodesFromDense(e.Vectors, lv, e.Meta.Precision)
+		if err != nil {
+			return fmt.Errorf("store: quantized kind: %w", err)
+		}
+		codeBits = e.Meta.Precision
 	}
 	algo, corp := []byte(e.Meta.Algorithm), []byte(e.Meta.Corpus)
 	words := wordsBlob(e.Words)
@@ -122,6 +217,8 @@ func WriteBinary(w io.Writer, e *embedding.Embedding, kind ElemKind) error {
 	binary.LittleEndian.PutUint32(h[48:52], uint32(len(corp)))
 	binary.LittleEndian.PutUint32(h[52:56], uint32(len(words)))
 	binary.LittleEndian.PutUint64(h[56:64], uint64(payloadOff))
+	binary.LittleEndian.PutUint64(h[64:72], math.Float64bits(e.Meta.Clip))
+	binary.LittleEndian.PutUint32(h[72:76], uint32(codeBits))
 
 	if _, err := w.Write(h[:]); err != nil {
 		return fmt.Errorf("store: write binary header: %w", err)
@@ -133,6 +230,15 @@ func WriteBinary(w io.Writer, e *embedding.Embedding, kind ElemKind) error {
 		if _, err := w.Write(b); err != nil {
 			return fmt.Errorf("store: write binary artifact: %w", err)
 		}
+	}
+	if kind == Quantized {
+		if len(codes.Data) == 0 {
+			return nil
+		}
+		if _, err := w.Write(codes.Data); err != nil {
+			return fmt.Errorf("store: write binary payload: %w", err)
+		}
+		return nil
 	}
 	return writePayload(w, e.Vectors.Data, kind)
 }
@@ -180,18 +286,26 @@ func writePayload(w io.Writer, data []float64, kind ElemKind) error {
 // mmap, see MapBinaryFile). Other payloads decode through one bulk
 // allocation; nothing is allocated per row either way.
 func DecodeBinary(data []byte) (*embedding.Embedding, error) {
-	if len(data) < binHeaderLen {
-		return nil, fmt.Errorf("store: binary artifact truncated: %d bytes < %d-byte header", len(data), binHeaderLen)
+	if len(data) < binHeaderLenV1 {
+		return nil, fmt.Errorf("store: binary artifact truncated: %d bytes < %d-byte header", len(data), binHeaderLenV1)
 	}
 	if string(data[0:4]) != binMagic {
 		return nil, fmt.Errorf("store: not a binary artifact (magic %q)", data[0:4])
 	}
-	if v := binary.LittleEndian.Uint32(data[4:8]); v != BinaryVersion {
-		return nil, fmt.Errorf("store: binary artifact version %d, want %d", v, BinaryVersion)
+	version := binary.LittleEndian.Uint32(data[4:8])
+	if version != 1 && version != BinaryVersion {
+		return nil, fmt.Errorf("store: binary artifact version %d, want 1..%d", version, BinaryVersion)
+	}
+	headerLen := binHeaderLen
+	if version == 1 {
+		headerLen = binHeaderLenV1
+	}
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("store: binary artifact truncated: %d bytes < %d-byte header", len(data), headerLen)
 	}
 	kind := ElemKind(binary.LittleEndian.Uint32(data[8:12]))
-	if kind != Float64 && kind != Float32 {
-		return nil, fmt.Errorf("store: unknown element kind %d", kind)
+	if kind != Float64 && kind != Float32 && !(version >= 2 && kind == Quantized) {
+		return nil, fmt.Errorf("store: unknown element kind %d (version %d)", kind, version)
 	}
 	metaDim := int(int32(binary.LittleEndian.Uint32(data[12:16])))
 	rows := int(binary.LittleEndian.Uint64(data[16:24]))
@@ -202,21 +316,35 @@ func DecodeBinary(data []byte) (*embedding.Embedding, error) {
 	corpLen := int(binary.LittleEndian.Uint32(data[48:52]))
 	wordsLen := int(binary.LittleEndian.Uint32(data[52:56]))
 	payloadOff := int(binary.LittleEndian.Uint64(data[56:64]))
+	var clip float64
+	codeBits := 0
+	if version >= 2 {
+		clip = math.Float64frombits(binary.LittleEndian.Uint64(data[64:72]))
+		codeBits = int(int32(binary.LittleEndian.Uint32(data[72:76])))
+	}
+	if kind == Quantized {
+		if codeBits < 1 || codeBits > 8 || codeBits != prec {
+			return nil, fmt.Errorf("store: corrupt binary artifact: quantized code bits %d (precision %d)", codeBits, prec)
+		}
+		if !(clip > 0) || math.IsInf(clip, 0) || math.IsNaN(clip) {
+			return nil, fmt.Errorf("store: corrupt binary artifact: quantized clip %v", clip)
+		}
+	}
 
 	if rows < 0 || cols < 0 || rows > math.MaxInt/8/max(cols, 1) {
 		return nil, fmt.Errorf("store: corrupt binary artifact: %dx%d matrix", rows, cols)
 	}
-	if binHeaderLen+algoLen+corpLen+wordsLen > payloadOff || payloadOff%binAlign != 0 {
+	if headerLen+algoLen+corpLen+wordsLen > payloadOff || payloadOff%binAlign != 0 {
 		return nil, fmt.Errorf("store: corrupt binary artifact: payload offset %d under %d header bytes",
-			payloadOff, binHeaderLen+algoLen+corpLen+wordsLen)
+			payloadOff, headerLen+algoLen+corpLen+wordsLen)
 	}
-	want := payloadOff + rows*cols*elemSize(kind)
+	want := payloadOff + payloadSize(rows, cols, kind, codeBits)
 	if len(data) != want {
 		return nil, fmt.Errorf("store: corrupt binary artifact: %d bytes, want %d for %dx%d %s",
-			len(data), want, rows, cols, map[ElemKind]string{Float64: "float64", Float32: "float32"}[kind])
+			len(data), want, rows, cols, kindName(kind))
 	}
 
-	off := binHeaderLen
+	off := headerLen
 	algo := string(data[off : off+algoLen])
 	off += algoLen
 	corp := string(data[off : off+corpLen])
@@ -226,12 +354,23 @@ func DecodeBinary(data []byte) (*embedding.Embedding, error) {
 		return nil, fmt.Errorf("store: corrupt binary artifact: %d words for %d rows", len(words), rows)
 	}
 
-	vals := decodePayload(data[payloadOff:], rows*cols, kind)
+	var vals []float64
+	if kind == Quantized {
+		codes := &matrix.Codes{
+			Rows: rows, Cols: cols, Bits: codeBits,
+			Levels:   compress.Levels(clip, codeBits),
+			RowBytes: codeRowBytes(cols, codeBits),
+			Data:     data[payloadOff:],
+		}
+		vals = codes.Dense().Data
+	} else {
+		vals = decodePayload(data[payloadOff:], rows*cols, kind)
+	}
 	return &embedding.Embedding{
 		Vectors: matrix.NewDenseData(rows, cols, vals),
 		Words:   words,
 		Meta: embedding.Meta{
-			Algorithm: algo, Corpus: corp, Dim: metaDim, Seed: seed, Precision: prec,
+			Algorithm: algo, Corpus: corp, Dim: metaDim, Seed: seed, Precision: prec, Clip: clip,
 		},
 	}, nil
 }

@@ -330,7 +330,7 @@ func (s *Store) loadDisk(k Key) *embedding.Embedding {
 		}
 		// Best-effort upgrade of a pre-binary cache entry.
 		if err := s.writeAtomic(k, s.binPath(k), func(w *os.File) error {
-			return WriteBinary(w, e, Float64)
+			return WriteBinary(w, e, PickKind(e))
 		}); err != nil {
 			s.persistErrs.Add(1)
 		}
@@ -345,7 +345,7 @@ func (s *Store) loadDisk(k Key) *embedding.Embedding {
 // concurrent readers and crashed writers never observe a torn file.
 func (s *Store) saveDisk(k Key, e *embedding.Embedding) error {
 	if err := s.writeAtomic(k, s.binPath(k), func(w *os.File) error {
-		return WriteBinary(w, e, Float64)
+		return WriteBinary(w, e, PickKind(e))
 	}); err != nil {
 		return err
 	}

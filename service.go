@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"anchor/internal/core"
@@ -35,6 +36,21 @@ type Service struct {
 	progress func(string)
 	defSeed  int64
 	defBits  int
+
+	// servingBudget, when positive, switches the read path into
+	// serving-memory-budget mode: queries that leave dim unset have
+	// (dim, bits) chosen by the paper's selection algorithm under
+	// dim*bits <= servingBudget. Chosen cells are cached per
+	// (algo, seed) so selection runs once per configuration.
+	servingBudget int
+	selMu         sync.Mutex
+	selCache      map[string]servingChoice
+}
+
+// servingChoice is a cached serving-budget auto-selection result.
+type servingChoice struct {
+	Dim  int
+	Bits int
 }
 
 // UnknownNameError reports a request naming an unregistered algorithm,
@@ -64,9 +80,10 @@ type serviceSettings struct {
 	bits        int
 	cacheDir    string
 	cacheCap    int
-	queryBudget int64
-	queryWindow time.Duration
-	progress    func(string)
+	queryBudget   int64
+	queryWindow   time.Duration
+	servingBudget int
+	progress      func(string)
 }
 
 // ServiceOption configures NewService.
@@ -136,6 +153,19 @@ func WithQueryWindow(d time.Duration) ServiceOption {
 	return func(s *serviceSettings) { s.queryWindow = d }
 }
 
+// WithServingBudget switches the read path into serving-memory-budget
+// mode: a query that leaves the dimension unset (dim 0) has its
+// (dim, bits) cell chosen automatically by the paper's selection
+// algorithm (Section 5.2) over the configured dimension and precision
+// ladders, restricted to cells with dim*bits <= budgetBits and ranked
+// by eigenspace instability. The chosen cell is cached per (algo, seed),
+// so selection trains its grid once and every later query reuses the
+// answer. budgetBits <= 0 (the default) disables the mode; queries must
+// then pass an explicit dimension.
+func WithServingBudget(budgetBits int) ServiceOption {
+	return func(s *serviceSettings) { s.servingBudget = budgetBits }
+}
+
 // WithProgress installs a progress callback invoked with a short human
 // note at each expensive stage (training, measuring, downstream model
 // fits). The callback must be safe for concurrent use.
@@ -173,21 +203,67 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 	runner := experiments.NewRunnerWithStore(settings.cfg, st)
 	// The query engine draws snapshots straight from the runner's artifact
 	// store: a warm store answers read-path queries without retraining.
+	// ref.Bits 0 means full precision; quantized refs resolve through the
+	// runner's quantized-snapshot path (clip learned on Wiki'17, matching
+	// the experiment grid), so a served artifact is bitwise the artifact
+	// the library path would measure.
 	engine := query.New(
 		func(ctx context.Context, ref query.Ref) (*embedding.Embedding, error) {
-			return runner.TrainCtx(ctx, ref.Algo, ref.Year, ref.Dim, ref.Seed)
+			bits := ref.Bits
+			if bits == 0 {
+				bits = 32
+			}
+			return runner.QuantizedSnapshotCtx(ctx, ref.Algo, ref.Year, ref.Dim, bits, ref.Seed)
 		},
 		query.WithBudget(settings.queryBudget),
 		query.WithWindow(settings.queryWindow),
 		query.WithWorkers(settings.cfg.Workers),
 	)
 	return &Service{
-		runner:   runner,
-		engine:   engine,
-		progress: settings.progress,
-		defSeed:  settings.seed,
-		defBits:  settings.bits,
+		runner:        runner,
+		engine:        engine,
+		progress:      settings.progress,
+		defSeed:       settings.seed,
+		defBits:       settings.bits,
+		servingBudget: settings.servingBudget,
+		selCache:      map[string]servingChoice{},
 	}, nil
+}
+
+// ServingBudget reports the serving-memory budget in bits per word
+// (dim*bits), zero when auto-selection is disabled.
+func (s *Service) ServingBudget() int { return s.servingBudget }
+
+// selectServing resolves the (dim, bits) cell a budget-mode query should
+// serve, running the paper's selection algorithm on first use for each
+// (algo, seed) and caching the choice.
+func (s *Service) selectServing(ctx context.Context, algo string, seed int64) (servingChoice, error) {
+	key := fmt.Sprintf("%s/%d", algo, seed)
+	s.selMu.Lock()
+	choice, ok := s.selCache[key]
+	s.selMu.Unlock()
+	if ok {
+		return choice, nil
+	}
+	cfg := s.runner.Cfg
+	rep, err := s.Select(ctx, SelectRequest{
+		Algo: algo, Dims: cfg.Dims, Precisions: cfg.Precisions,
+		Seed: seed, BudgetBits: s.servingBudget,
+	})
+	if err != nil {
+		return servingChoice{}, err
+	}
+	if rep.Best == nil {
+		return servingChoice{}, invalidf(
+			"serving budget %d bits excludes every configured cell", s.servingBudget)
+	}
+	choice = servingChoice{Dim: rep.Best.Dim, Bits: rep.Best.Precision}
+	s.note("serving budget %d: selected d=%d b=%d for %s seed=%d",
+		s.servingBudget, choice.Dim, choice.Bits, algo, seed)
+	s.selMu.Lock()
+	s.selCache[key] = choice
+	s.selMu.Unlock()
+	return choice, nil
 }
 
 // Config returns the experiment configuration the service runs at.

@@ -28,11 +28,15 @@ type Neighbor = query.Neighbor
 // proxy.
 type WordDelta = query.Delta
 
-// queryParams accumulates per-query functional options.
+// queryParams accumulates per-query functional options. dim and bits
+// hold the resolved values (after defaults and, in serving-budget mode,
+// auto-selection); bits is the precision as reported (32 = full).
 type queryParams struct {
 	year int
 	k    int
 	seed int64
+	bits int
+	dim  int
 }
 
 // QueryOption configures one Service query (Query, Neighbors,
@@ -58,6 +62,16 @@ func QuerySeed(seed int64) QueryOption {
 	return func(p *queryParams) { p.seed = seed }
 }
 
+// QueryPrecision selects the precision (bits per entry, 1..32) of the
+// served snapshot. Snapshots at b <= 8 bits stay resident as packed
+// codes and are scored through the LUT kernel, 9..31 as float32 rows —
+// both bitwise identical to dequantizing and scoring in float64. The
+// default is the service's default precision (32, full, unless
+// WithPrecision says otherwise).
+func QueryPrecision(bits int) QueryOption {
+	return func(p *queryParams) { p.bits = bits }
+}
+
 // queryParams resolves options against the service defaults and validates
 // the shared request surface.
 func (s *Service) queryParams(ctx context.Context, algo string, dim int, words []string, opts []QueryOption) (queryParams, error) {
@@ -65,7 +79,7 @@ func (s *Service) queryParams(ctx context.Context, algo string, dim int, words [
 	for _, opt := range opts {
 		opt(&p)
 	}
-	if err := errors.Join(ctx.Err(), s.checkAlgo(algo), validDim(dim)); err != nil {
+	if err := errors.Join(ctx.Err(), s.checkAlgo(algo)); err != nil {
 		return p, err
 	}
 	if p.year != 2017 && p.year != 2018 {
@@ -77,7 +91,39 @@ func (s *Service) queryParams(ctx context.Context, algo string, dim int, words [
 	if len(words) == 0 {
 		return p, invalidf("query needs at least one word")
 	}
+	p.dim = dim
+	switch {
+	case dim == 0 && s.servingBudget > 0:
+		// Serving-budget mode: the selection algorithm picks the cell.
+		// An explicit QueryPrecision still wins over the selected bits.
+		choice, err := s.selectServing(ctx, algo, p.seed)
+		if err != nil {
+			return p, err
+		}
+		p.dim = choice.Dim
+		if p.bits == 0 {
+			p.bits = choice.Bits
+		}
+	case dim == 0:
+		return p, invalidf("dimension must be positive, got 0 (set a serving budget to have it auto-selected)")
+	}
+	if err := validDim(p.dim); err != nil {
+		return p, err
+	}
+	p.bits = s.bits(p.bits)
+	if err := validBits(p.bits); err != nil {
+		return p, err
+	}
 	return p, nil
+}
+
+// refBits normalizes a reported precision to the query engine's Ref
+// convention, where 0 means full precision.
+func refBits(bits int) int {
+	if bits >= 32 {
+		return 0
+	}
+	return bits
 }
 
 // WordVector is one vector-lookup answer.
@@ -95,7 +141,9 @@ type VectorsReport struct {
 	Algo string `json:"algo"`
 	Year int    `json:"year"`
 	Dim  int    `json:"dim"`
-	Seed int64  `json:"seed"`
+	// Bits is the served precision (32 = full).
+	Bits int   `json:"bits"`
+	Seed int64 `json:"seed"`
 	// Vectors holds one entry per queried word, in request order.
 	Vectors []WordVector `json:"vectors"`
 }
@@ -109,8 +157,8 @@ func (s *Service) Query(ctx context.Context, algo string, dim int, words []strin
 	if err != nil {
 		return VectorsReport{}, err
 	}
-	ref := query.Ref{Algo: algo, Year: p.year, Dim: dim, Seed: p.seed}
-	rep := VectorsReport{Algo: algo, Year: p.year, Dim: dim, Seed: p.seed,
+	ref := query.Ref{Algo: algo, Year: p.year, Dim: p.dim, Seed: p.seed, Bits: refBits(p.bits)}
+	rep := VectorsReport{Algo: algo, Year: p.year, Dim: p.dim, Bits: p.bits, Seed: p.seed,
 		Vectors: make([]WordVector, len(words))}
 	for i, w := range words {
 		id, vec, err := s.engine.Vector(ctx, ref, w)
@@ -135,8 +183,10 @@ type NeighborsReport struct {
 	Algo string `json:"algo"`
 	Year int    `json:"year"`
 	Dim  int    `json:"dim"`
-	Seed int64  `json:"seed"`
-	K    int    `json:"k"`
+	// Bits is the served precision (32 = full).
+	Bits int   `json:"bits"`
+	Seed int64 `json:"seed"`
+	K    int   `json:"k"`
 	// Results holds one entry per queried word, in request order.
 	Results []WordNeighbors `json:"results"`
 }
@@ -152,8 +202,8 @@ func (s *Service) Neighbors(ctx context.Context, algo string, dim int, words []s
 	if err != nil {
 		return NeighborsReport{}, err
 	}
-	ref := query.Ref{Algo: algo, Year: p.year, Dim: dim, Seed: p.seed}
-	rep := NeighborsReport{Algo: algo, Year: p.year, Dim: dim, Seed: p.seed, K: p.k,
+	ref := query.Ref{Algo: algo, Year: p.year, Dim: p.dim, Seed: p.seed, Bits: refBits(p.bits)}
+	rep := NeighborsReport{Algo: algo, Year: p.year, Dim: p.dim, Bits: p.bits, Seed: p.seed, K: p.k,
 		Results: make([]WordNeighbors, len(words))}
 	if len(words) == 1 {
 		// Singleton requests go through the gather window so concurrent
@@ -180,8 +230,10 @@ func (s *Service) Neighbors(ctx context.Context, algo string, dim int, words []s
 type NeighborDeltaReport struct {
 	Algo string `json:"algo"`
 	Dim  int    `json:"dim"`
-	Seed int64  `json:"seed"`
-	K    int    `json:"k"`
+	// Bits is the served precision (32 = full).
+	Bits int   `json:"bits"`
+	Seed int64 `json:"seed"`
+	K    int   `json:"k"`
 	// Results holds one delta per queried word, in request order.
 	Results []WordDelta `json:"results"`
 	// MeanOverlap averages the per-word overlaps: 1 = perfectly stable
@@ -201,14 +253,14 @@ func (s *Service) NeighborDelta(ctx context.Context, algo string, dim int, words
 	if err != nil {
 		return NeighborDeltaReport{}, err
 	}
-	refA := query.Ref{Algo: algo, Year: 2017, Dim: dim, Seed: p.seed}
-	refB := query.Ref{Algo: algo, Year: 2018, Dim: dim, Seed: p.seed}
-	s.note("neighbor-delta %s d=%d k=%d seed=%d (%d words)", algo, dim, p.k, p.seed, len(words))
+	refA := query.Ref{Algo: algo, Year: 2017, Dim: p.dim, Seed: p.seed, Bits: refBits(p.bits)}
+	refB := query.Ref{Algo: algo, Year: 2018, Dim: p.dim, Seed: p.seed, Bits: refBits(p.bits)}
+	s.note("neighbor-delta %s d=%d b=%d k=%d seed=%d (%d words)", algo, p.dim, p.bits, p.k, p.seed, len(words))
 	ds, err := s.engine.NeighborDelta(ctx, refA, refB, words, p.k)
 	if err != nil {
 		return NeighborDeltaReport{}, err
 	}
-	rep := NeighborDeltaReport{Algo: algo, Dim: dim, Seed: p.seed, K: p.k, Results: ds}
+	rep := NeighborDeltaReport{Algo: algo, Dim: p.dim, Bits: p.bits, Seed: p.seed, K: p.k, Results: ds}
 	for _, d := range ds {
 		rep.MeanOverlap += d.Overlap
 	}
@@ -219,3 +271,12 @@ func (s *Service) NeighborDelta(ctx context.Context, algo string, dim int, words
 // QueryStats reports query-engine traffic (resident snapshot hits, loads,
 // evictions, and micro-batching counters).
 func (s *Service) QueryStats() query.Stats { return s.engine.Stats() }
+
+// SnapshotInfo describes one query-ready resident snapshot: which
+// artifact it serves, the precision mode it is resident in ("float64",
+// "float32", or "codes"), and the bytes it pins in the query budget.
+type SnapshotInfo = query.SnapshotInfo
+
+// ResidentSnapshots lists the read path's resident snapshots, most
+// recently used first.
+func (s *Service) ResidentSnapshots() []SnapshotInfo { return s.engine.Resident() }
