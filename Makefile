@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test vet fmt lint anchorlint staticcheck govulncheck lint-tools docs race race-full serve-smoke bench bench-artifacts
+.PHONY: build test vet fmt lint anchorlint staticcheck govulncheck lint-tools docs race race-full chaos fuzz-smoke serve-smoke bench bench-artifacts
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,20 @@ race:
 # so raise the per-package timeout above the 10m default.
 race-full:
 	$(GO) test -race -timeout 40m ./...
+
+# Chaos suite: the HTTP API under a seeded fault schedule spanning every
+# registered injection site (internal/faults), run under the race
+# detector. Asserts the degradation contract — a request either succeeds
+# bitwise identical to the fault-free oracle or fails with a structured,
+# retryable error. CI runs this alongside the race job.
+chaos:
+	$(GO) test -race -run 'Chaos|FaultSchedule' -count=1 -v ./internal/serve/...
+
+# Fuzz smoke: the binary-artifact decoder against corrupt and truncated
+# inputs for a bounded budget per target. A decode must either succeed on
+# intact bytes or fail cleanly — never panic, never return wrong rows.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeBinary' -fuzztime 30s ./internal/store/
 
 # Boot the HTTP server against the small config and hit /v1/healthz.
 serve-smoke:

@@ -380,6 +380,12 @@ func cmdServe(ctx context.Context, args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	budget := fs.Int("serving-budget", 0,
 		"serving memory budget in bits/word: dim-0 queries auto-select (dim, bits) by eigenspace instability under dim*bits <= budget (0 = disabled)")
+	maxInFlight := fs.Int("max-in-flight", 64,
+		"admission-control limit on concurrently served requests; excess requests are shed with 429 + Retry-After (0 = unbounded)")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second,
+		"per-endpoint deadline for read requests (vectors/neighbors/delta); exceeded requests get a structured 503 (0 = none)")
+	computeTimeout := fs.Duration("compute-timeout", 10*time.Minute,
+		"per-endpoint deadline for compute requests (train/measures/stability/select); exceeded requests get a structured 503 (0 = none)")
 	sf := addServiceFlags(fs, "bench")
 	fs.Parse(args)
 
@@ -393,12 +399,25 @@ func cmdServe(ctx context.Context, args []string) error {
 		return err
 	}
 
+	api := serve.New(svc, logger,
+		serve.WithMaxInFlight(*maxInFlight),
+		serve.WithReadTimeout(*requestTimeout),
+		serve.WithComputeTimeout(*computeTimeout),
+	)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.New(svc, logger).Handler(),
+		Handler: api.Handler(),
 		// Requests inherit the serve context: SIGINT/SIGTERM cancels
 		// in-flight computations at their next stage boundary.
 		BaseContext: func(net.Listener) context.Context { return ctx },
+		// Transport-level protection against slow or stuck clients: a
+		// client that trickles its headers or body cannot pin a
+		// connection forever, and idle keep-alives are reaped. These
+		// bound the connection; the per-endpoint handler deadlines above
+		// bound the work.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       1 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -409,6 +428,9 @@ func cmdServe(ctx context.Context, args []string) error {
 		return err
 	case <-ctx.Done():
 		logger.Println("shutting down...")
+		// Fail readiness first so load balancers stop routing new
+		// traffic, then drain in-flight requests.
+		api.SetDraining(true)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return srv.Shutdown(shutdownCtx)

@@ -20,6 +20,9 @@ var DeterministicPackages = []string{
 	"anchor/internal/compress",
 	"anchor/internal/selection",
 	"anchor/internal/tasks/...",
+	// The fault-injection harness must itself be deterministic — a chaos
+	// run that cannot be replayed from its seed is useless as evidence.
+	"anchor/internal/faults",
 }
 
 // IsDeterministicPkg reports whether the import path falls under

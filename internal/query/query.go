@@ -47,10 +47,16 @@ import (
 	"anchor/internal/compress"
 	"anchor/internal/core"
 	"anchor/internal/embedding"
+	"anchor/internal/faults"
 	"anchor/internal/floats"
 	"anchor/internal/matrix"
 	"anchor/internal/parallel"
 )
+
+// siteLoad is the fault-injection site on the snapshot load path (see
+// internal/faults): inert in production, armed by seeded plans in chaos
+// tests to exercise the retry loop and latency handling.
+var siteLoad = faults.Register("query/load")
 
 // Ref identifies one queryable embedding snapshot by provenance.
 type Ref struct {
@@ -121,6 +127,10 @@ type Stats struct {
 	// BatchedQueries counts neighbor queries answered; BatchedQueries /
 	// Batches is the achieved coalescing factor.
 	BatchedQueries int64
+	// Retries counts snapshot-load attempts beyond each load's first try
+	// (see WithRetry). A nonzero value means the source failed
+	// transiently and the engine recovered without surfacing an error.
+	Retries int64
 }
 
 // Engine serves vector, neighbor, and neighbor-delta queries over
@@ -131,6 +141,8 @@ type Engine struct {
 	window   time.Duration
 	maxBatch int
 	workers  int
+	attempts int
+	backoff  time.Duration
 
 	mu     sync.Mutex
 	items  map[Ref]*list.Element
@@ -138,7 +150,7 @@ type Engine struct {
 	bytes  int64
 	flight map[Ref]*snapFlight
 
-	hits, loads, evictions, batches, batchedQueries atomic.Int64
+	hits, loads, evictions, batches, batchedQueries, retries atomic.Int64
 }
 
 // Option configures New.
@@ -176,6 +188,18 @@ func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
 }
 
+// WithRetry bounds the retry loop around source loads: up to attempts
+// total tries per load, separated by exponentially growing waits
+// (backoff, 2·backoff, 4·backoff, ...). Context cancellation and
+// deadline expiry are never retried — the caller's deadline is the outer
+// bound. attempts <= 1 disables retrying. The default is 3 attempts with
+// a 2ms initial backoff. Retried loads resolve to the same content-keyed
+// artifact, so a load that succeeds on retry is bitwise identical to one
+// that succeeded first try.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(e *Engine) { e.attempts, e.backoff = attempts, backoff }
+}
+
 // New returns an Engine drawing snapshots from src.
 func New(src Source, opts ...Option) *Engine {
 	e := &Engine{
@@ -183,6 +207,8 @@ func New(src Source, opts ...Option) *Engine {
 		budget:   256 << 20,
 		window:   200 * time.Microsecond,
 		maxBatch: 128,
+		attempts: 3,
+		backoff:  2 * time.Millisecond,
 		items:    map[Ref]*list.Element{},
 		lru:      list.New(),
 		flight:   map[Ref]*snapFlight{},
@@ -204,6 +230,7 @@ func (e *Engine) Stats() Stats {
 		Evictions:      e.evictions.Load(),
 		Batches:        e.batches.Load(),
 		BatchedQueries: e.batchedQueries.Load(),
+		Retries:        e.retries.Load(),
 	}
 }
 
@@ -378,7 +405,7 @@ func (e *Engine) snapshot(ctx context.Context, ref Ref) (*snapshot, error) {
 // become packed codes, other float32-exact reduced-precision artifacts
 // become float32 rows, everything else stays on the full float64 path.
 func (e *Engine) load(ctx context.Context, ref Ref) (*snapshot, error) {
-	emb, err := e.src(ctx, ref)
+	emb, err := e.loadSource(ctx, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -429,6 +456,59 @@ func (e *Engine) load(ctx context.Context, ref Ref) (*snapshot, error) {
 		}
 	}
 	return s, nil
+}
+
+// loadSource pulls ref through the source under the bounded-backoff
+// retry policy (WithRetry). Cancellation and deadline errors abort
+// immediately — they belong to the caller, not the source — and the wait
+// between tries is cut short when the context expires.
+func (e *Engine) loadSource(ctx context.Context, ref Ref) (*embedding.Embedding, error) {
+	attempts := e.attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			e.retries.Add(1)
+			if !sleepCtx(ctx, e.backoff<<(try-1)) {
+				return nil, ctx.Err()
+			}
+		}
+		faults.Sleep(ctx, siteLoad)
+		if ferr := faults.Error(siteLoad); ferr != nil {
+			err = ferr
+		} else {
+			var emb *embedding.Embedding
+			if emb, err = e.src(ctx, ref); err == nil {
+				return emb, nil
+			}
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+	}
+	if attempts > 1 {
+		return nil, fmt.Errorf("query: load %s failed after %d attempts: %w", ref, attempts, err)
+	}
+	return nil, err
+}
+
+// sleepCtx waits for d or until ctx is done, reporting whether the full
+// wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	//anchorlint:ignore seedrand retry backoff only delays a snapshot reload; the loaded artifact is content-keyed, so answers are bitwise identical with or without the wait
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // invNorms computes per-row inverse L2 norms (0 for zero rows) for a
@@ -483,6 +563,9 @@ func (s *snapshot) resolve(word string) (int, error) {
 // Words returns the vocabulary size of the snapshot under ref (loading it
 // if necessary).
 func (e *Engine) Words(ctx context.Context, ref Ref) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	s, err := e.snapshot(ctx, ref)
 	if err != nil {
 		return 0, err
@@ -494,6 +577,9 @@ func (e *Engine) Words(ctx context.Context, ref Ref) (int, error) {
 // embedding vector in the snapshot under ref. Compact modes reconstruct
 // the row exactly: both are lossless representations of the artifact.
 func (e *Engine) Vector(ctx context.Context, ref Ref, word string) (int, []float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	s, err := e.snapshot(ctx, ref)
 	if err != nil {
 		return 0, nil, err
@@ -523,6 +609,9 @@ func (e *Engine) Neighbors(ctx context.Context, ref Ref, word string, k int) ([]
 	if k < 1 {
 		return nil, fmt.Errorf("query: k must be positive, got %d", k)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s, err := e.snapshot(ctx, ref)
 	if err != nil {
 		return nil, err
@@ -543,6 +632,9 @@ func (e *Engine) Neighbors(ctx context.Context, ref Ref, word string, k int) ([]
 func (e *Engine) NeighborsBatch(ctx context.Context, ref Ref, words []string, k int) ([][]Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("query: k must be positive, got %d", k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	s, err := e.snapshot(ctx, ref)
 	if err != nil {

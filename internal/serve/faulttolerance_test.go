@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"anchor"
+	"anchor/internal/faults"
+)
+
+// newFaultServer builds a test server with serving middleware options and
+// returns it plus a valid /v1/neighbors body for a real vocabulary word.
+func newFaultServer(t *testing.T, opts ...ServerOption) (*Server, string) {
+	t.Helper()
+	svc, err := anchor.NewService(anchor.WithConfig(tinyConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := queryWords(t, svc, 1)[0]
+	body := fmt.Sprintf(`{"algo":"mc","dim":8,"k":3,"words":[%q]}`, word)
+	return New(svc, nil, opts...), body
+}
+
+// TestPanicRecoveryKeepsServing: an injected handler panic yields a
+// structured 500 and the very next request serves normally, bitwise
+// identical to the pre-panic answer.
+func TestPanicRecoveryKeepsServing(t *testing.T) {
+	srv, neighborsBody := newFaultServer(t)
+	h := srv.Handler()
+	oracle := do(t, h, http.MethodPost, "/v1/neighbors", neighborsBody, nil)
+	if oracle.Code != http.StatusOK {
+		t.Fatalf("oracle: %d %s", oracle.Code, oracle.Body.String())
+	}
+
+	defer faults.Activate(faults.MustPlan(11,
+		faults.Rule{Site: "serve/panic", Kind: faults.KindPanic, Count: 1}))()
+
+	rr := do(t, h, http.MethodPost, "/v1/neighbors", neighborsBody, nil)
+	if rr.Code != http.StatusInternalServerError || errCode(t, rr) != "internal_panic" {
+		t.Fatalf("panicked request: %d %s", rr.Code, rr.Body.String())
+	}
+	rr = do(t, h, http.MethodPost, "/v1/neighbors", neighborsBody, nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("request after panic: %d %s", rr.Code, rr.Body.String())
+	}
+	if rr.Body.String() != oracle.Body.String() {
+		t.Fatal("post-panic response differs from the fault-free oracle")
+	}
+
+	var health struct {
+		Serving struct {
+			Panics int64 `json:"panics"`
+		} `json:"serving"`
+	}
+	if rr := do(t, h, http.MethodGet, "/v1/healthz", "", &health); rr.Code != http.StatusOK {
+		t.Fatalf("healthz after panic: %d", rr.Code)
+	}
+	if health.Serving.Panics != 1 {
+		t.Fatalf("healthz panics = %d, want 1", health.Serving.Panics)
+	}
+}
+
+// TestAdmissionControlShedsBitwise drives a concurrent storm against a
+// 2-slot server whose first two requests are slowed by injected latency:
+// every response must be either 200 with exactly the oracle's bytes or a
+// structured 429 with Retry-After — never a torn response. Run under
+// -race by make race / make chaos.
+func TestAdmissionControlShedsBitwise(t *testing.T) {
+	srv, neighborsBody := newFaultServer(t, WithMaxInFlight(2))
+	h := srv.Handler()
+	oracle := do(t, h, http.MethodPost, "/v1/neighbors", neighborsBody, nil)
+	if oracle.Code != http.StatusOK {
+		t.Fatalf("oracle: %d %s", oracle.Code, oracle.Body.String())
+	}
+
+	defer faults.Activate(faults.MustPlan(23,
+		faults.Rule{Site: "serve/latency", Kind: faults.KindLatency, Latency: 300 * time.Millisecond, Count: 2}))()
+
+	const clients = 8
+	codes := make([]int, clients)
+	bodies := make([]string, clients)
+	headers := make([]http.Header, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rr := do(t, h, http.MethodPost, "/v1/neighbors", neighborsBody, nil)
+			codes[i], bodies[i], headers[i] = rr.Code, rr.Body.String(), rr.Result().Header
+		}(i)
+	}
+	wg.Wait()
+
+	oks, sheds := 0, 0
+	for i := 0; i < clients; i++ {
+		switch codes[i] {
+		case http.StatusOK:
+			oks++
+			if bodies[i] != oracle.Body.String() {
+				t.Fatalf("client %d: 200 body differs from oracle", i)
+			}
+		case http.StatusTooManyRequests:
+			sheds++
+			if headers[i].Get("Retry-After") == "" {
+				t.Fatalf("client %d: 429 without Retry-After", i)
+			}
+		default:
+			t.Fatalf("client %d: status %d (%s), want 200 or 429", i, codes[i], bodies[i])
+		}
+	}
+	if oks == 0 || sheds == 0 {
+		t.Fatalf("storm saw %d 200s and %d 429s; wanted both behaviors", oks, sheds)
+	}
+
+	// Overload ends with the storm: the next request is served.
+	if rr := do(t, h, http.MethodPost, "/v1/neighbors", neighborsBody, nil); rr.Code != http.StatusOK {
+		t.Fatalf("request after storm: %d %s", rr.Code, rr.Body.String())
+	}
+}
+
+// TestEndpointDeadlineYields503: a read request held past its endpoint
+// deadline by injected latency is answered with a retryable structured
+// 503, not a hung connection or a 499.
+func TestEndpointDeadlineYields503(t *testing.T) {
+	srv, neighborsBody := newFaultServer(t, WithReadTimeout(250*time.Millisecond))
+	h := srv.Handler()
+	// Warm the snapshot fault-free so the deadline can only be blamed on
+	// the injected latency.
+	if rr := do(t, h, http.MethodPost, "/v1/neighbors", neighborsBody, nil); rr.Code != http.StatusOK {
+		t.Fatalf("warm: %d %s", rr.Code, rr.Body.String())
+	}
+
+	defer faults.Activate(faults.MustPlan(31,
+		faults.Rule{Site: "serve/latency", Kind: faults.KindLatency, Latency: time.Hour, Count: 1}))()
+
+	rr := do(t, h, http.MethodPost, "/v1/neighbors", neighborsBody, nil)
+	if rr.Code != http.StatusServiceUnavailable || errCode(t, rr) != "deadline_exceeded" {
+		t.Fatalf("deadline: %d %s", rr.Code, rr.Body.String())
+	}
+	if rr.Result().Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// And the timeout did not poison the server.
+	if rr := do(t, h, http.MethodPost, "/v1/neighbors", neighborsBody, nil); rr.Code != http.StatusOK {
+		t.Fatalf("request after deadline: %d %s", rr.Code, rr.Body.String())
+	}
+}
+
+// TestReadinessLivenessSplit: draining flips readyz to 503 while livez
+// and the API keep answering; un-draining restores readiness.
+func TestReadinessLivenessSplit(t *testing.T) {
+	srv, neighborsBody := newFaultServer(t)
+	h := srv.Handler()
+	if rr := do(t, h, http.MethodGet, "/v1/livez", "", nil); rr.Code != http.StatusOK {
+		t.Fatalf("livez: %d", rr.Code)
+	}
+	if rr := do(t, h, http.MethodGet, "/v1/readyz", "", nil); rr.Code != http.StatusOK {
+		t.Fatalf("readyz: %d", rr.Code)
+	}
+
+	srv.SetDraining(true)
+	if rr := do(t, h, http.MethodGet, "/v1/readyz", "", nil); rr.Code != http.StatusServiceUnavailable || errCode(t, rr) != "draining" {
+		t.Fatalf("draining readyz: %d %s", rr.Code, rr.Body.String())
+	}
+	if rr := do(t, h, http.MethodGet, "/v1/livez", "", nil); rr.Code != http.StatusOK {
+		t.Fatalf("livez while draining: %d", rr.Code)
+	}
+	// Draining refuses new routing, not in-flight work: the API still
+	// serves while the balancer reacts.
+	if rr := do(t, h, http.MethodPost, "/v1/neighbors", neighborsBody, nil); rr.Code != http.StatusOK {
+		t.Fatalf("neighbors while draining: %d %s", rr.Code, rr.Body.String())
+	}
+
+	srv.SetDraining(false)
+	if rr := do(t, h, http.MethodGet, "/v1/readyz", "", nil); rr.Code != http.StatusOK {
+		t.Fatalf("readyz after drain lifted: %d", rr.Code)
+	}
+}

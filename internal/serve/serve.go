@@ -7,7 +7,9 @@
 // Endpoints (all under /v1, JSON in/out; see docs/HTTP_API.md for the
 // full request/response reference):
 //
-//	GET  /v1/healthz          liveness + registry, store, and query stats
+//	GET  /v1/healthz          health detail + registry, store, and query stats
+//	GET  /v1/livez            liveness probe (200 while the process serves)
+//	GET  /v1/readyz           readiness probe (503 when draining/saturated)
 //	GET  /v1/vectors          word vector lookup in one snapshot
 //	POST /v1/neighbors        k nearest neighbors in one snapshot
 //	POST /v1/neighbors/delta  neighbor overlap between the two snapshots
@@ -26,10 +28,22 @@
 // cancels its computation at the next stage boundary (reported as 499 in
 // logs, nginx-style).
 //
+// Every API endpoint runs behind the serving middleware (see route):
+// panic recovery (a panicking handler yields a structured 500 and the
+// process keeps serving), admission control (WithMaxInFlight bounds
+// concurrent requests; excess load is shed with 429 + Retry-After), and
+// per-endpoint deadlines (WithReadTimeout/WithComputeTimeout; a request
+// that outlives its deadline gets 503 + Retry-After). The probes bypass
+// admission and deadlines so they answer even under full load. None of
+// this touches answer bytes: degradation changes availability, never
+// answers — a request that succeeds is bitwise identical to one served
+// by an idle process (enforced by the chaos suite in chaos_test.go).
+//
 // Errors are structured: {"error": {"code": "...", "message": "..."}}
 // with 400 for malformed or unknown-name requests, 404 for unknown
-// routes and out-of-vocabulary words, 405 for wrong methods, and 500 for
-// internal failures.
+// routes and out-of-vocabulary words, 405 for wrong methods, 429 for
+// shed load, 503 for server-side deadline expiry or a draining/saturated
+// readiness probe, and 500 for internal failures.
 package serve
 
 import (
@@ -39,11 +53,27 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"anchor"
+	"anchor/internal/faults"
 )
+
+// Fault-injection sites on the request path (see internal/faults): inert
+// in production, armed by seeded plans in chaos tests.
+var (
+	sitePanic   = faults.Register("serve/panic")
+	siteLatency = faults.Register("serve/latency")
+)
+
+// errDeadline is the cause installed by the per-endpoint deadline, so
+// fail can tell a server-imposed timeout (503, retryable) from a client
+// hanging up (499).
+var errDeadline = errors.New("serve: per-endpoint deadline exceeded")
 
 // StatusClientClosedRequest is the nginx convention for "client canceled
 // the request before the response was ready".
@@ -53,31 +83,156 @@ const StatusClientClosedRequest = 499
 type Server struct {
 	svc *anchor.Service
 	log *log.Logger
+
+	maxInFlight    int
+	readTimeout    time.Duration
+	computeTimeout time.Duration
+	sem            chan struct{} // nil = unbounded admission
+
+	draining atomic.Bool
+	inFlight atomic.Int64
+
+	shed, timeouts, panics atomic.Int64
+}
+
+// ServerOption configures New.
+type ServerOption func(*Server)
+
+// WithMaxInFlight bounds the number of API requests executing at once
+// (probes are exempt). Arrivals beyond the bound are shed immediately
+// with 429 + Retry-After instead of queueing — under overload the server
+// answers fast with "try later" rather than slowly with everything.
+// n <= 0 (the default) disables admission control.
+func WithMaxInFlight(n int) ServerOption {
+	return func(s *Server) { s.maxInFlight = n }
+}
+
+// WithReadTimeout sets the per-request deadline for the read-path
+// endpoints (vectors, neighbors, neighbors/delta). A request that
+// outlives it is answered 503 + Retry-After. 0 (the default) disables
+// the deadline.
+func WithReadTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.readTimeout = d }
+}
+
+// WithComputeTimeout sets the per-request deadline for the compute
+// endpoints (train, measures, stability, select), which may train
+// embeddings and downstream models. 0 (the default) disables it.
+func WithComputeTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.computeTimeout = d }
 }
 
 // New returns a Server over svc. logger may be nil to disable logging.
-func New(svc *anchor.Service, logger *log.Logger) *Server {
-	return &Server{svc: svc, log: logger}
+func New(svc *anchor.Service, logger *log.Logger, opts ...ServerOption) *Server {
+	s := &Server{svc: svc, log: logger}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.maxInFlight > 0 {
+		s.sem = make(chan struct{}, s.maxInFlight)
+	}
+	return s
 }
+
+// SetDraining flips the readiness signal: a draining server answers 503
+// on /v1/readyz (so load balancers stop routing to it) while continuing
+// to serve everything else. Call before http.Server.Shutdown for a
+// connection-preserving rolling restart.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Handler returns the routed handler for the /v1 API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/vectors", s.handleVectors)
-	mux.HandleFunc("/v1/neighbors", s.handleNeighbors)
-	mux.HandleFunc("/v1/neighbors/delta", s.handleNeighborDelta)
-	mux.HandleFunc("/v1/train", s.handleTrain)
-	mux.HandleFunc("/v1/measures", s.handleMeasures)
-	mux.HandleFunc("/v1/stability", s.handleStability)
-	mux.HandleFunc("/v1/select", s.handleSelect)
+	// Probes and health detail bypass admission and deadlines: they must
+	// answer precisely when the server is saturated.
+	mux.HandleFunc("/v1/healthz", s.protect(s.handleHealthz))
+	mux.HandleFunc("/v1/livez", s.protect(s.handleLivez))
+	mux.HandleFunc("/v1/readyz", s.protect(s.handleReadyz))
+	mux.HandleFunc("/v1/vectors", s.route(s.readTimeout, s.handleVectors))
+	mux.HandleFunc("/v1/neighbors", s.route(s.readTimeout, s.handleNeighbors))
+	mux.HandleFunc("/v1/neighbors/delta", s.route(s.readTimeout, s.handleNeighborDelta))
+	mux.HandleFunc("/v1/train", s.route(s.computeTimeout, s.handleTrain))
+	mux.HandleFunc("/v1/measures", s.route(s.computeTimeout, s.handleMeasures))
+	mux.HandleFunc("/v1/stability", s.route(s.computeTimeout, s.handleStability))
+	mux.HandleFunc("/v1/select", s.route(s.computeTimeout, s.handleSelect))
 	// Unknown routes get the structured envelope too, not the mux's
 	// plain-text default.
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/", s.protect(func(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "not_found",
 			fmt.Sprintf("no route %s (see docs/HTTP_API.md for the /v1 endpoints)", r.URL.Path))
-	})
+	}))
 	return mux
+}
+
+// trackingWriter remembers whether the response has started, so the
+// panic recovery knows whether a structured 500 can still be written.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+// protect wraps h with panic recovery only: a panicking handler becomes
+// a structured 500 (when the response has not started) and the process
+// keeps serving — one poisoned request must never take down the tier.
+func (s *Server) protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				s.logf("serve: panic on %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				if !tw.wrote {
+					s.writeError(tw, http.StatusInternalServerError, "internal_panic",
+						fmt.Sprintf("request handler panicked: %v", v))
+				}
+			}
+		}()
+		h(tw, r)
+	}
+}
+
+// route wraps an API handler with the full serving middleware: panic
+// recovery, admission control (shed with 429 when the bounded in-flight
+// set is full), and the per-endpoint deadline (503 via fail when it
+// expires). Shedding and deadlines bound work, not answers: any request
+// that completes returns exactly the bytes an unloaded server returns.
+func (s *Server) route(timeout time.Duration, h http.HandlerFunc) http.HandlerFunc {
+	return s.protect(func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusTooManyRequests, "overloaded",
+					fmt.Sprintf("in-flight request limit (%d) reached; retry shortly", s.maxInFlight))
+				return
+			}
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		if timeout > 0 {
+			ctx, cancel := context.WithTimeoutCause(r.Context(), timeout, errDeadline)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		// Injected faults land inside the admission slot and under the
+		// endpoint deadline, like real handler slowness and bugs would.
+		faults.Sleep(r.Context(), siteLatency)
+		faults.Crash(sitePanic)
+		h(w, r)
+	})
 }
 
 // errorBody is the structured error envelope.
@@ -112,8 +267,9 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, message str
 // fail maps a service error onto the structured error space: unknown
 // names and invalid parameters are the client's fault (400), a word
 // missing from a snapshot's vocabulary is an absent resource (404), a
-// canceled request context is the client hanging up (499, nginx
-// convention), and everything else is ours (500).
+// server-imposed per-endpoint deadline is retryable overload (503 +
+// Retry-After), a canceled request context is the client hanging up
+// (499, nginx convention), and everything else is ours (500).
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	var unk *anchor.UnknownNameError
 	var inv *anchor.InvalidRequestError
@@ -128,6 +284,16 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.As(err, &inv):
 		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if errors.Is(context.Cause(r.Context()), errDeadline) {
+			// Our deadline, not the client's cancellation: the request was
+			// healthy but too slow right now. Retryable.
+			s.timeouts.Add(1)
+			s.logf("serve: %s %s exceeded its deadline", r.Method, r.URL.Path)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "deadline_exceeded",
+				"request exceeded the server's per-endpoint deadline; retry shortly")
+			return
+		}
 		// The client is gone; the status is for logs and tests.
 		s.logf("serve: %s %s canceled", r.Method, r.URL.Path)
 		s.writeError(w, StatusClientClosedRequest, "client_closed_request", err.Error())
@@ -165,11 +331,26 @@ type healthzResponse struct {
 	Algorithms []string `json:"algorithms"`
 	Tasks      []string `json:"tasks"`
 	Measures   []string `json:"measures"`
-	Store      struct {
-		MemHits   int64 `json:"mem_hits"`
-		DiskHits  int64 `json:"disk_hits"`
-		Computes  int64 `json:"computes"`
-		Evictions int64 `json:"evictions"`
+	// Serving reports the fault-tolerance middleware's view of traffic:
+	// current and maximum in-flight requests, shed/timed-out/panicked
+	// request counts, and whether the server is draining.
+	Serving struct {
+		InFlight    int64 `json:"in_flight"`
+		MaxInFlight int   `json:"max_in_flight"`
+		Shed        int64 `json:"shed"`
+		Timeouts    int64 `json:"timeouts"`
+		Panics      int64 `json:"panics"`
+		Draining    bool  `json:"draining"`
+	} `json:"serving"`
+	Store struct {
+		MemHits       int64 `json:"mem_hits"`
+		DiskHits      int64 `json:"disk_hits"`
+		Computes      int64 `json:"computes"`
+		Evictions     int64 `json:"evictions"`
+		PersistErrors int64 `json:"persist_errors"`
+		// Quarantines counts damaged disk artifacts moved aside and
+		// recovered from the other encoding or a recompute.
+		Quarantines int64 `json:"quarantines"`
 	} `json:"store"`
 	Query struct {
 		SnapshotHits   int64 `json:"snapshot_hits"`
@@ -177,6 +358,8 @@ type healthzResponse struct {
 		Evictions      int64 `json:"evictions"`
 		Batches        int64 `json:"batches"`
 		BatchedQueries int64 `json:"batched_queries"`
+		// Retries counts snapshot-load attempts beyond the first.
+		Retries int64 `json:"retries"`
 		// ResidentBytes totals the bytes pinned by resident snapshots.
 		ResidentBytes int64 `json:"resident_bytes"`
 		// Snapshots lists the resident snapshots (most recently used
@@ -198,23 +381,64 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Tasks:      s.svc.Tasks(),
 		Measures:   s.svc.Measures(),
 	}
+	resp.Serving.InFlight = s.inFlight.Load()
+	resp.Serving.MaxInFlight = s.maxInFlight
+	resp.Serving.Shed = s.shed.Load()
+	resp.Serving.Timeouts = s.timeouts.Load()
+	resp.Serving.Panics = s.panics.Load()
+	resp.Serving.Draining = s.draining.Load()
 	st := s.svc.StoreStats()
 	resp.Store.MemHits = st.MemHits
 	resp.Store.DiskHits = st.DiskHits
 	resp.Store.Computes = st.Computes
 	resp.Store.Evictions = st.Evictions
+	resp.Store.PersistErrors = st.PersistErrors
+	resp.Store.Quarantines = st.Quarantines
 	qs := s.svc.QueryStats()
 	resp.Query.SnapshotHits = qs.SnapshotHits
 	resp.Query.SnapshotLoads = qs.SnapshotLoads
 	resp.Query.Evictions = qs.Evictions
 	resp.Query.Batches = qs.Batches
 	resp.Query.BatchedQueries = qs.BatchedQueries
+	resp.Query.Retries = qs.Retries
 	resp.Query.Snapshots = s.svc.ResidentSnapshots()
 	for _, in := range resp.Query.Snapshots {
 		resp.Query.ResidentBytes += in.Bytes
 	}
 	resp.ServingBudgetBits = s.svc.ServingBudget()
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLivez is the liveness probe: 200 for as long as the process can
+// execute a handler at all. Panic recovery keeps this true through
+// poisoned requests; only a dead process fails it.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 503 while the server is draining
+// for shutdown or its admission queue is saturated — the signal for load
+// balancers to route elsewhere — and 200 otherwise. Liveness and
+// readiness are split on purpose: an overloaded server is alive (don't
+// restart it) but not ready (don't send it more).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining before shutdown")
+		return
+	}
+	if s.sem != nil && len(s.sem) >= cap(s.sem) {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "overloaded",
+			fmt.Sprintf("all %d in-flight slots busy", s.maxInFlight))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // trainRequest asks for one embedding snapshot.

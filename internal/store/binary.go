@@ -2,7 +2,9 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -12,6 +14,7 @@ import (
 
 	"anchor/internal/compress"
 	"anchor/internal/embedding"
+	"anchor/internal/faults"
 	"anchor/internal/matrix"
 )
 
@@ -22,10 +25,10 @@ import (
 // header check — the payload bytes are reinterpreted in place as the
 // embedding's float64 storage with no per-row allocation and no copy.
 //
-// Version 2 layout (all integers little-endian):
+// Version 3 layout (all integers little-endian):
 //
 //	[0:4)   magic "ANCB"
-//	[4:8)   format version (currently 2)
+//	[4:8)   format version (currently 3)
 //	[8:12)  element kind: 0 = float64, 1 = float32, 2 = quantized codes
 //	[12:16) Meta.Dim
 //	[16:24) rows
@@ -38,12 +41,18 @@ import (
 //	[56:64) payload offset (from file start, 64-byte aligned)
 //	[64:72) Meta.Clip (float64 bits; quantization clipping threshold)
 //	[72:76) code bits (= Meta.Precision for the quantized kind, else 0)
-//	[76:80) reserved (zero)
+//	[76:80) artifact checksum (CRC-32C over the entire artifact —
+//	        header, strings, padding, payload — with this field zeroed)
 //	[80:..) algorithm, corpus, words ("\n"-joined), zero padding
 //	[payload offset:) payload, row-major
 //
-// Version 1 artifacts (64-byte header, no clip/code-bits fields, kinds 0
-// and 1 only) remain readable; the clip decodes as zero.
+// The checksum is the integrity half of the failure model's "correct bits
+// or clean error" rule: a torn write or bit rot in the payload surfaces as
+// ErrCorrupt at decode time (quarantined and recovered by the store's disk
+// tier), never as a quietly different embedding. Version 1 artifacts
+// (64-byte header, no clip/code-bits fields, kinds 0 and 1 only) and
+// version 2 artifacts (identical layout with [76:80) reserved as zero)
+// remain readable; they simply carry no payload checksum to verify.
 //
 // Float64 payloads preserve bits exactly, so a binary load is bitwise
 // identical to the gob artifact it was written alongside. Float32 payloads
@@ -74,12 +83,28 @@ const (
 const (
 	binMagic = "ANCB"
 	// BinaryVersion is the current binary artifact format version. Readers
-	// accept this and version 1; the format evolves by bumping it.
-	BinaryVersion  = 2
+	// accept versions 1 through this; the format evolves by bumping it.
+	BinaryVersion  = 3
 	binHeaderLenV1 = 64
 	binHeaderLen   = 80
 	binAlign       = 64
 )
+
+// ErrCorrupt tags decode failures caused by damaged artifact bytes —
+// truncation, torn writes, bit rot, checksum mismatches — as opposed to a
+// missing file or an I/O error. The disk tier quarantines artifacts whose
+// load fails with errors.Is(err, ErrCorrupt) and recovers from the gob
+// tier or a recompute.
+var ErrCorrupt = errors.New("corrupt binary artifact")
+
+// corruptf builds a decode error carrying the ErrCorrupt sentinel.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("store: %w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+// castagnoli is the CRC-32C table for payload checksums (hardware
+// accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // BinaryExt is the file extension of binary artifacts in the disk tier.
 const BinaryExt = ".bin"
@@ -203,6 +228,7 @@ func WriteBinary(w io.Writer, e *embedding.Embedding, kind ElemKind) error {
 	words := wordsBlob(e.Words)
 	varLen := len(algo) + len(corp) + len(words)
 	payloadOff := (binHeaderLen + varLen + binAlign - 1) / binAlign * binAlign
+	pad := make([]byte, payloadOff-binHeaderLen-varLen)
 
 	var h [binHeaderLen]byte
 	copy(h[0:4], binMagic)
@@ -220,10 +246,28 @@ func WriteBinary(w io.Writer, e *embedding.Embedding, kind ElemKind) error {
 	binary.LittleEndian.PutUint64(h[64:72], math.Float64bits(e.Meta.Clip))
 	binary.LittleEndian.PutUint32(h[72:76], uint32(codeBits))
 
+	// The checksum covers the whole artifact — header (with the checksum
+	// field still zero), strings, padding, payload — so any flipped byte,
+	// vocabulary strings included, surfaces as ErrCorrupt at decode time
+	// rather than a quietly different embedding. The header precedes the
+	// payload on the wire and io.Writer cannot seek, so the payload
+	// streams twice: once through the digest, once to w.
+	d := crc32.New(castagnoli)
+	d.Write(h[:])
+	for _, b := range [][]byte{algo, corp, words, pad} {
+		d.Write(b)
+	}
+	if kind == Quantized {
+		d.Write(codes.Data)
+	} else if err := writePayload(d, e.Vectors.Data, kind); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(h[76:80], d.Sum32())
+
 	if _, err := w.Write(h[:]); err != nil {
 		return fmt.Errorf("store: write binary header: %w", err)
 	}
-	for _, b := range [][]byte{algo, corp, words, make([]byte, payloadOff-binHeaderLen-varLen)} {
+	for _, b := range [][]byte{algo, corp, words, pad} {
 		if len(b) == 0 {
 			continue
 		}
@@ -287,13 +331,13 @@ func writePayload(w io.Writer, data []float64, kind ElemKind) error {
 // allocation; nothing is allocated per row either way.
 func DecodeBinary(data []byte) (*embedding.Embedding, error) {
 	if len(data) < binHeaderLenV1 {
-		return nil, fmt.Errorf("store: binary artifact truncated: %d bytes < %d-byte header", len(data), binHeaderLenV1)
+		return nil, corruptf("truncated: %d bytes < %d-byte header", len(data), binHeaderLenV1)
 	}
 	if string(data[0:4]) != binMagic {
-		return nil, fmt.Errorf("store: not a binary artifact (magic %q)", data[0:4])
+		return nil, corruptf("not a binary artifact (magic %q)", data[0:4])
 	}
 	version := binary.LittleEndian.Uint32(data[4:8])
-	if version != 1 && version != BinaryVersion {
+	if version < 1 || version > BinaryVersion {
 		return nil, fmt.Errorf("store: binary artifact version %d, want 1..%d", version, BinaryVersion)
 	}
 	headerLen := binHeaderLen
@@ -301,11 +345,11 @@ func DecodeBinary(data []byte) (*embedding.Embedding, error) {
 		headerLen = binHeaderLenV1
 	}
 	if len(data) < headerLen {
-		return nil, fmt.Errorf("store: binary artifact truncated: %d bytes < %d-byte header", len(data), headerLen)
+		return nil, corruptf("truncated: %d bytes < %d-byte header", len(data), headerLen)
 	}
 	kind := ElemKind(binary.LittleEndian.Uint32(data[8:12]))
 	if kind != Float64 && kind != Float32 && !(version >= 2 && kind == Quantized) {
-		return nil, fmt.Errorf("store: unknown element kind %d (version %d)", kind, version)
+		return nil, corruptf("unknown element kind %d (version %d)", kind, version)
 	}
 	metaDim := int(int32(binary.LittleEndian.Uint32(data[12:16])))
 	rows := int(binary.LittleEndian.Uint64(data[16:24]))
@@ -324,24 +368,34 @@ func DecodeBinary(data []byte) (*embedding.Embedding, error) {
 	}
 	if kind == Quantized {
 		if codeBits < 1 || codeBits > 8 || codeBits != prec {
-			return nil, fmt.Errorf("store: corrupt binary artifact: quantized code bits %d (precision %d)", codeBits, prec)
+			return nil, corruptf("quantized code bits %d (precision %d)", codeBits, prec)
 		}
 		if !(clip > 0) || math.IsInf(clip, 0) || math.IsNaN(clip) {
-			return nil, fmt.Errorf("store: corrupt binary artifact: quantized clip %v", clip)
+			return nil, corruptf("quantized clip %v", clip)
 		}
 	}
 
 	if rows < 0 || cols < 0 || rows > math.MaxInt/8/max(cols, 1) {
-		return nil, fmt.Errorf("store: corrupt binary artifact: %dx%d matrix", rows, cols)
+		return nil, corruptf("%dx%d matrix", rows, cols)
 	}
 	if headerLen+algoLen+corpLen+wordsLen > payloadOff || payloadOff%binAlign != 0 {
-		return nil, fmt.Errorf("store: corrupt binary artifact: payload offset %d under %d header bytes",
+		return nil, corruptf("payload offset %d under %d header bytes",
 			payloadOff, headerLen+algoLen+corpLen+wordsLen)
 	}
 	want := payloadOff + payloadSize(rows, cols, kind, codeBits)
 	if len(data) != want {
-		return nil, fmt.Errorf("store: corrupt binary artifact: %d bytes, want %d for %dx%d %s",
+		return nil, corruptf("%d bytes, want %d for %dx%d %s",
 			len(data), want, rows, cols, kindName(kind))
+	}
+	if version >= 3 {
+		wantSum := binary.LittleEndian.Uint32(data[76:80])
+		d := crc32.New(castagnoli)
+		d.Write(data[:76])
+		d.Write([]byte{0, 0, 0, 0}) // the checksum field, as hashed by the writer
+		d.Write(data[80:])
+		if got := d.Sum32(); got != wantSum {
+			return nil, corruptf("artifact checksum %08x, want %08x", got, wantSum)
+		}
 	}
 
 	off := headerLen
@@ -351,7 +405,7 @@ func DecodeBinary(data []byte) (*embedding.Embedding, error) {
 	off += corpLen
 	words := splitWordsBlob(data[off : off+wordsLen])
 	if words != nil && len(words) != rows {
-		return nil, fmt.Errorf("store: corrupt binary artifact: %d words for %d rows", len(words), rows)
+		return nil, corruptf("%d words for %d rows", len(words), rows)
 	}
 
 	var vals []float64
@@ -414,9 +468,12 @@ func SaveBinaryFile(path string, e *embedding.Embedding, kind ElemKind) error {
 // payload is used in place (see DecodeBinary), so the load allocates the
 // file buffer and nothing per row.
 func LoadBinaryFile(path string) (*embedding.Embedding, error) {
+	if err := faults.Error(siteBinRead); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return DecodeBinary(data)
+	return DecodeBinary(faults.Corrupt(siteBinBytes, data))
 }

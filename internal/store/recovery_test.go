@@ -1,0 +1,180 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"anchor/internal/embedding"
+	"anchor/internal/faults"
+)
+
+// warmDir persists one artifact under k into a fresh cache dir and
+// returns the dir and the embedding it holds.
+func warmDir(t *testing.T) (string, Key, *embedding.Embedding) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(4)
+	want := testEmbedding(4, 1.5)
+	if _, err := s.Get(k, true, func() (*embedding.Embedding, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	return dir, k, want
+}
+
+// flipLastByte damages a file's final payload byte in place, leaving its
+// length (and so every v2-era shape check) intact.
+func flipLastByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenSweepsStaleTemps plants crashed-writer debris and checks Open
+// removes it without touching live artifacts or quarantined files.
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir, k, _ := warmDir(t)
+	stale := filepath.Join(dir, k.ID()+".tmp123456789")
+	keepQuarantined := filepath.Join(dir, k.ID()+BinaryExt+".quarantined")
+	for _, p := range []string{stale, keepQuarantined} {
+		if err := os.WriteFile(p, []byte("debris"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp survived Open: stat err = %v", err)
+	}
+	for _, p := range []string{
+		filepath.Join(dir, k.ID()+BinaryExt),
+		filepath.Join(dir, k.ID()+".gob"),
+		keepQuarantined,
+	} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("Open swept non-temp file %s: %v", filepath.Base(p), err)
+		}
+	}
+}
+
+// TestChecksumRejectsPayloadFlip pins what the v3 checksum buys: a
+// payload bit flip that preserves the artifact's length and header decodes
+// to ErrCorrupt instead of quietly different vectors.
+func TestChecksumRejectsPayloadFlip(t *testing.T) {
+	dir, k, _ := warmDir(t)
+	bin := filepath.Join(dir, k.ID()+BinaryExt)
+	flipLastByte(t, bin)
+	_, err := LoadBinaryFile(bin)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped payload byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptBinQuarantinedAndRecovered: a damaged .bin is moved aside,
+// the gob fallback serves bitwise-identical data with no recompute, and
+// the binary fast path is rewritten clean.
+func TestCorruptBinQuarantinedAndRecovered(t *testing.T) {
+	dir, k, want := warmDir(t)
+	bin := filepath.Join(dir, k.ID()+BinaryExt)
+	flipLastByte(t, bin)
+
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(k, true, func() (*embedding.Embedding, error) {
+		t.Fatal("recompute invoked despite intact gob fallback")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	embEqualBits(t, want, got)
+	st := s.Stats()
+	if st.Quarantines != 1 || st.Computes != 0 || st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantine, 0 computes, 1 disk hit", st)
+	}
+	if _, err := os.Stat(bin + ".quarantined"); err != nil {
+		t.Fatalf("damaged binary not quarantined: %v", err)
+	}
+	// The rewritten fast path must decode clean.
+	repaired, err := LoadBinaryFile(bin)
+	if err != nil {
+		t.Fatalf("repaired binary: %v", err)
+	}
+	embEqualBits(t, want, repaired)
+}
+
+// TestCorruptBothEncodingsRecomputed: with both disk encodings damaged the
+// store quarantines both and recomputes rather than serving bad bytes.
+func TestCorruptBothEncodingsRecomputed(t *testing.T) {
+	dir, k, want := warmDir(t)
+	flipLastByte(t, filepath.Join(dir, k.ID()+BinaryExt))
+	// Truncate the gob so it fails decode (a flipped trailing byte can
+	// land in ignored padding; truncation always breaks the stream).
+	if err := os.WriteFile(filepath.Join(dir, k.ID()+".gob"), []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(k, true, func() (*embedding.Embedding, error) { return want, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	embEqualBits(t, want, got)
+	st := s.Stats()
+	if st.Quarantines != 2 || st.Computes != 1 {
+		t.Fatalf("stats = %+v, want 2 quarantines, 1 compute", st)
+	}
+}
+
+// TestInjectedReadErrorFallsBackWithoutQuarantine: a transient I/O error
+// on the binary read (injected) degrades to the gob tier but must not
+// quarantine or rewrite the intact binary artifact.
+func TestInjectedReadErrorFallsBackWithoutQuarantine(t *testing.T) {
+	dir, k, want := warmDir(t)
+	bin := filepath.Join(dir, k.ID()+BinaryExt)
+	before, err := os.Stat(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Activate(faults.MustPlan(1, faults.Rule{Site: "store/bin.read", Kind: faults.KindError, Count: 1}))()
+	got, err := s.Get(k, true, func() (*embedding.Embedding, error) {
+		t.Fatal("recompute invoked despite intact gob fallback")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	embEqualBits(t, want, got)
+	st := s.Stats()
+	if st.Quarantines != 0 || st.Computes != 0 {
+		t.Fatalf("stats = %+v, want no quarantines and no computes", st)
+	}
+	after, err := os.Stat(bin)
+	if err != nil {
+		t.Fatalf("intact binary disappeared: %v", err)
+	}
+	if after.ModTime() != before.ModTime() || after.Size() != before.Size() {
+		t.Fatal("transient read error rewrote the intact binary artifact")
+	}
+}

@@ -32,6 +32,12 @@
 // generation config, so caches for different corpora never collide; both
 // encodings preserve float64 bits exactly, so a disk hit is bitwise
 // identical to the original computation.
+//
+// The disk tier is self-healing: artifacts that fail decode or checksum
+// verification are quarantined (renamed to *.quarantined) and recovered
+// from the other encoding or a recompute — damaged bytes are never
+// served — and Open sweeps stale *.tmp debris left by writers that
+// crashed before their atomic rename.
 package store
 
 import (
@@ -39,6 +45,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,6 +53,16 @@ import (
 	"sync/atomic"
 
 	"anchor/internal/embedding"
+	"anchor/internal/faults"
+)
+
+// Fault-injection sites on the disk tier (see internal/faults): inert in
+// production, armed by seeded plans in chaos tests.
+var (
+	siteBinRead  = faults.Register("store/bin.read")
+	siteBinBytes = faults.Register("store/bin.bytes")
+	siteGobRead  = faults.Register("store/gob.read")
+	siteWrite    = faults.Register("store/write")
 )
 
 // Key identifies one embedding artifact by provenance.
@@ -101,6 +118,11 @@ type Stats struct {
 	// PersistErrors counts failed best-effort disk writes (the artifact
 	// is still served from memory).
 	PersistErrors int64
+	// Quarantines counts damaged disk artifacts moved aside (renamed to
+	// *.quarantined) after failing decode or checksum verification. Each
+	// quarantine is followed by fallback to the other encoding or a
+	// recompute, never by serving the damaged bytes.
+	Quarantines int64
 }
 
 // Store is the two-tier artifact cache. The zero value is not usable;
@@ -114,7 +136,7 @@ type Store struct {
 	lru    *list.List // front = most recently used
 	flight map[string]*flightCall
 
-	memHits, diskHits, computes, evictions, persistErrs atomic.Int64
+	memHits, diskHits, computes, evictions, persistErrs, quarantines atomic.Int64
 }
 
 type entry struct {
@@ -136,6 +158,7 @@ func Open(dir string, capacity int) (*Store, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
+		sweepStaleTemps(dir)
 	}
 	if capacity < 0 {
 		capacity = 0
@@ -167,7 +190,39 @@ func (s *Store) Stats() Stats {
 		Computes:      s.computes.Load(),
 		Evictions:     s.evictions.Load(),
 		PersistErrors: s.persistErrs.Load(),
+		Quarantines:   s.quarantines.Load(),
 	}
+}
+
+// sweepStaleTemps removes temp files left behind by writers that crashed
+// between CreateTemp and the rename in writeAtomic. Temps match
+// <id>.tmp<digits>; finished artifacts always end in .bin or .gob, so the
+// sweep can never touch a live artifact.
+func sweepStaleTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		if ent.Type().IsRegular() && isStaleTemp(ent.Name()) {
+			os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+}
+
+// isStaleTemp reports whether name matches writeAtomic's CreateTemp
+// pattern: anything ending in ".tmp" plus os.CreateTemp's numeric suffix.
+func isStaleTemp(name string) bool {
+	i := strings.LastIndex(name, ".tmp")
+	if i < 0 {
+		return false
+	}
+	for _, r := range name[i+len(".tmp"):] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // Get returns the artifact under k, computing (and caching) it on a miss.
@@ -316,19 +371,42 @@ func (s *Store) binPath(k Key) string { return filepath.Join(s.dir, k.ID()+Binar
 // loadDisk returns the disk-tier artifact for k, or nil when absent or
 // unreadable (an unreadable file is treated as a miss and recomputed).
 // The zero-copy binary encoding is preferred; the gob file is the
-// fallback for caches written before the binary format existed, and a
-// gob hit backfills the missing binary so the slow decode is paid once
-// per artifact, not once per restart.
+// fallback — for caches written before the binary format existed, and as
+// the degradation path when the binary artifact is damaged. A damaged
+// file (decode or checksum failure, errors.Is ErrCorrupt) is quarantined
+// — renamed aside, counted in Stats — so the bad bytes are never read
+// again; a gob hit then rewrites the binary fast path. Either way a disk
+// hit is bitwise identical to the original computation or it is not
+// served at all.
 func (s *Store) loadDisk(k Key) *embedding.Embedding {
 	if s.dir == "" {
 		return nil
 	}
-	e, err := LoadBinaryFile(s.binPath(k))
-	if err != nil {
-		if e, err = embedding.LoadFile(s.path(k)); err != nil {
-			return nil
+	e, binErr := LoadBinaryFile(s.binPath(k))
+	if binErr == nil {
+		s.diskHits.Add(1)
+		return e
+	}
+	binCorrupt := errors.Is(binErr, ErrCorrupt)
+	if binCorrupt {
+		s.quarantine(s.binPath(k))
+	}
+	if err := faults.Error(siteGobRead); err != nil {
+		return nil
+	}
+	e, gobErr := embedding.LoadFile(s.path(k))
+	if gobErr != nil {
+		if !errors.Is(gobErr, fs.ErrNotExist) {
+			// The gob exists but does not decode: damaged too. Move it
+			// aside so the recompute's fresh artifacts start clean.
+			s.quarantine(s.path(k))
 		}
-		// Best-effort upgrade of a pre-binary cache entry.
+		return nil
+	}
+	if binCorrupt || errors.Is(binErr, fs.ErrNotExist) {
+		// Repair the fast path (pre-binary cache entry or quarantined
+		// binary), best-effort. A transient binary read error skips this:
+		// the artifact on disk may be fine.
 		if err := s.writeAtomic(k, s.binPath(k), func(w *os.File) error {
 			return WriteBinary(w, e, PickKind(e))
 		}); err != nil {
@@ -337,6 +415,16 @@ func (s *Store) loadDisk(k Key) *embedding.Embedding {
 	}
 	s.diskHits.Add(1)
 	return e
+}
+
+// quarantine moves a damaged artifact file aside as <path>.quarantined
+// (deleting it when the rename fails) so the damaged bytes are never
+// decoded again and a repair can take its place.
+func (s *Store) quarantine(path string) {
+	if err := os.Rename(path, path+".quarantined"); err != nil {
+		os.Remove(path)
+	}
+	s.quarantines.Add(1)
 }
 
 // saveDisk persists an artifact atomically in both encodings — the binary
@@ -356,6 +444,9 @@ func (s *Store) saveDisk(k Key, e *embedding.Embedding) error {
 
 // writeAtomic writes one artifact encoding via temp file + rename.
 func (s *Store) writeAtomic(k Key, path string, write func(*os.File) error) error {
+	if err := faults.Error(siteWrite); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
 	tmp, err := os.CreateTemp(s.dir, k.ID()+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)

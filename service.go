@@ -73,13 +73,13 @@ func invalidf(format string, args ...any) error {
 
 // serviceSettings accumulates functional options.
 type serviceSettings struct {
-	cfg         ExperimentConfig
-	workers     *int
-	topWords    *int
-	seed        int64
-	bits        int
-	cacheDir    string
-	cacheCap    int
+	cfg           ExperimentConfig
+	workers       *int
+	topWords      *int
+	seed          int64
+	bits          int
+	cacheDir      string
+	cacheCap      int
 	queryBudget   int64
 	queryWindow   time.Duration
 	servingBudget int
