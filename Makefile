@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test vet fmt lint anchorlint staticcheck govulncheck lint-tools docs race race-full chaos fuzz-smoke serve-smoke bench bench-artifacts
+.PHONY: build test vet fmt lint anchorlint anchorlint-sarif staticcheck govulncheck lint-tools docs race race-full chaos fuzz-smoke serve-smoke bench bench-artifacts
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,16 @@ fmt:
 # zero unsuppressed findings is a merge requirement.
 lint: vet anchorlint staticcheck govulncheck
 
+# The baseline carries grandfathered findings (keyed rule+file+message,
+# no line numbers); entries whose finding is fixed turn stale and fail
+# the run, so the debt can only shrink.
 anchorlint:
-	$(GO) run ./cmd/anchorlint ./...
+	$(GO) run ./cmd/anchorlint -baseline lint-baseline.json ./...
+
+# Machine-readable lint output for code-scanning upload.
+anchorlint-sarif:
+	$(GO) run ./cmd/anchorlint -baseline lint-baseline.json -format sarif ./... > anchorlint.sarif || true
+	@test -s anchorlint.sarif
 
 # staticcheck and govulncheck are external binaries; run them when
 # installed, otherwise print the pinned install recipe and skip so the
@@ -118,6 +126,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkNeighborsServe|BenchmarkNeighborsPrecision' -benchtime 3x ./internal/query | tee BENCH_query.txt
 	$(GO) run ./cmd/benchjson -o BENCH_query.json < BENCH_query.txt
 	@rm -f BENCH_query.txt
+	$(GO) run ./cmd/anchorlint -bench ./... | tee BENCH_lint.txt
+	$(GO) run ./cmd/benchjson -o BENCH_lint.json < BENCH_lint.txt
+	@rm -f BENCH_lint.txt
 
 # Full paper-artifact regeneration benchmarks (slow; trains the grid).
 bench-artifacts:

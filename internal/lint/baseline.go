@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A BaselineEntry identifies one accepted pre-existing finding. The key
+// deliberately excludes line numbers: unrelated edits move findings
+// around, and a baseline that churns on every edit stops being a
+// shrink-only ratchet.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// A Baseline is the set of findings accepted when a rule was adopted.
+// New findings never enter it (the file is only written by
+// -write-baseline at adoption time); entries that stop matching are
+// stale and must be deleted, so the set only ever shrinks.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline persists the currently unsuppressed findings as a new
+// baseline, deduplicated and sorted for stable diffs.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	seen := make(map[BaselineEntry]bool)
+	var b Baseline
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		e := BaselineEntry{Rule: d.Rule, File: RelPath(d.Pos.Filename), Message: d.Message}
+		if !seen[e] {
+			seen[e] = true
+			b.Entries = append(b.Entries, e)
+		}
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply marks diagnostics covered by the baseline as suppressed
+// (Baselined) in place and returns the stale entries — baseline lines
+// that matched no current finding. Callers must treat stale entries as
+// failures: a fixed finding's entry has to be deleted, never left to
+// mask a future regression with the same message.
+//
+// An entry is only judged stale when its rule is among running and its
+// file among analyzed (nil means "all") — a partial run (-rules, or a
+// package subset) proves nothing about entries it never re-checked.
+func (b *Baseline) Apply(diags []Diagnostic, running, analyzed map[string]bool) []BaselineEntry {
+	set := make(map[BaselineEntry]bool, len(b.Entries))
+	for _, e := range b.Entries {
+		set[e] = true
+	}
+	matched := make(map[BaselineEntry]bool, len(b.Entries))
+	for i := range diags {
+		d := &diags[i]
+		if d.Suppressed {
+			continue
+		}
+		e := BaselineEntry{Rule: d.Rule, File: RelPath(d.Pos.Filename), Message: d.Message}
+		if set[e] {
+			d.Suppressed = true
+			d.Baselined = true
+			d.SuppressReason = "baseline"
+			matched[e] = true
+		}
+	}
+	var stale []BaselineEntry
+	for _, e := range b.Entries {
+		if matched[e] {
+			continue
+		}
+		if running != nil && !running[e.Rule] {
+			continue
+		}
+		if analyzed != nil && !analyzed[e.File] {
+			continue
+		}
+		stale = append(stale, e)
+	}
+	return stale
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLibraryPrefixes lists import-path prefixes treated as library code
+// for the ctxflow rule: library functions must accept a caller's context
+// rather than mint their own roots. Binaries (cmd/...) own the root
+// context and are exempt. Tests may extend the list to cover fixtures.
+var CtxLibraryPrefixes = []string{"anchor/internal/"}
+
+// ctxBlockingFuncs are stdlib calls with no cancellation path that a
+// context-receiving function must not invoke directly; each maps to the
+// sanctioned ctx-aware replacement named in the finding.
+var ctxBlockingFuncs = map[[2]string]string{
+	{"time", "Sleep"}:    "select on ctx.Done() and a timer instead",
+	{"net/http", "Get"}:  "use http.NewRequestWithContext",
+	{"net/http", "Post"}: "use http.NewRequestWithContext",
+	{"net/http", "Head"}: "use http.NewRequestWithContext",
+}
+
+// ctxIOFuncs are direct file-I/O calls that make a loop an I/O loop for
+// the poll-ctx check.
+var ctxIOFuncs = map[[2]string]bool{
+	{"os", "Open"}: true, {"os", "OpenFile"}: true, {"os", "Create"}: true,
+	{"os", "ReadFile"}: true, {"os", "WriteFile"}: true,
+	{"os", "CreateTemp"}: true, {"os", "ReadDir"}: true,
+}
+
+// CtxIOPackages lists packages whose functions constitute I/O when
+// called from a loop: the artifact store is the disk layer, so a
+// det-package loop calling into it must poll its ctx. Query/serve
+// helpers are deliberately absent — most are in-memory and counting them
+// would flag every loop in the engine. Tests may override the list.
+var CtxIOPackages = []string{"anchor/internal/store"}
+
+// CtxFlow enforces the context-discipline clauses PR 8 introduced by
+// hand: library packages never mint root contexts
+// (context.Background/TODO), a function that receives a ctx does not
+// bypass it with uncancelable blocking calls, and I/O loops in
+// deterministic packages poll the ctx each iteration so deadlines
+// actually bound retry and scan work.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background()/context.TODO() in library packages, " +
+		"uncancelable blocking calls (time.Sleep, http.Get) inside " +
+		"ctx-receiving functions, and I/O loops in deterministic packages " +
+		"that never poll their ctx",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	library := false
+	for _, prefix := range CtxLibraryPrefixes {
+		if len(pass.PkgPath) >= len(prefix) && pass.PkgPath[:len(prefix)] == prefix {
+			library = true
+			break
+		}
+	}
+	for _, file := range pass.Files {
+		if library {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkgPath, name, ok := pkgFunc(pass.TypesInfo, call); ok &&
+					pkgPath == "context" && (name == "Background" || name == "TODO") {
+					pass.Reportf(call.Pos(),
+						"context.%s() in library package %s: accept a ctx from the caller and forward it, so deadlines and cancellation propagate",
+						name, pass.PkgPath)
+				}
+				return true
+			})
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxObj := ctxParam(pass.TypesInfo, fd)
+			if ctxObj == nil {
+				continue
+			}
+			checkCtxBlocking(pass, fd)
+			if IsDeterministicPkg(pass.PkgPath) {
+				checkCtxLoops(pass, fd, ctxObj)
+			}
+		}
+	}
+	return nil
+}
+
+// ctxParam returns the function's context.Context parameter object, or
+// nil when the function takes no (named) context.
+func ctxParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && obj.Type() != nil && obj.Type().String() == "context.Context" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// checkCtxBlocking flags uncancelable blocking calls inside a function
+// that received a context.
+func checkCtxBlocking(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, name, ok := pkgFunc(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		if fix, blocking := ctxBlockingFuncs[[2]string{pkgPath, name}]; blocking {
+			pass.Reportf(call.Pos(),
+				"%s receives a ctx but calls %s.%s, which cannot be canceled: %s",
+				fd.Name.Name, pkgPath, name, fix)
+		}
+		return true
+	})
+}
+
+// checkCtxLoops flags for/range loops that perform I/O without ever
+// consulting the function's ctx: a deadline cannot bound a loop that
+// never polls it.
+func checkCtxLoops(pass *Pass, fd *ast.FuncDecl, ctxObj types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if !loopDoesIO(pass.TypesInfo, body) {
+			return true
+		}
+		if loopMentionsObj(pass.TypesInfo, n, ctxObj) {
+			return true
+		}
+		pass.Reportf(n.Pos(),
+			"I/O loop in %s never polls ctx: check ctx.Err() or select on ctx.Done() each iteration so deadlines bound the work",
+			fd.Name.Name)
+		return true
+	})
+}
+
+// loopDoesIO reports whether the loop body contains a direct file-I/O
+// call or a call into one of the I/O-layer packages (CtxIOPackages).
+func loopDoesIO(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if pkgPath, name, ok := pkgFunc(info, call); ok && ctxIOFuncs[[2]string{pkgPath, name}] {
+			found = true
+			return false
+		}
+		if fn := Callee(info, call); fn != nil && fn.Pkg() != nil &&
+			pkgInList(fn.Pkg().Path(), CtxIOPackages) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// loopMentionsObj reports whether the loop (condition or body)
+// references the given object.
+func loopMentionsObj(info *types.Info, loop ast.Node, target types.Object) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,38 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"anchor/internal/lint"
+	"anchor/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	oldLib := lint.CtxLibraryPrefixes
+	lint.CtxLibraryPrefixes = append(oldLib[:len(oldLib):len(oldLib)], "anchorlint.test/")
+	oldDet := lint.DeterministicPackages
+	lint.DeterministicPackages = append(oldDet[:len(oldDet):len(oldDet)], "anchorlint.test/ctxflow")
+	defer func() {
+		lint.CtxLibraryPrefixes = oldLib
+		lint.DeterministicPackages = oldDet
+	}()
+	linttest.Run(t, lint.CtxFlow, "testdata/src/ctxflow", "anchorlint.test/ctxflow")
+}
+
+// TestCtxFlowOutsideLibrary loads the same fixture under a package path
+// outside both CtxLibraryPrefixes and DeterministicPackages: the
+// root-context and I/O-loop findings are scoped to those lists and must
+// vanish, while the blocking-call check binds any ctx-receiving
+// function anywhere.
+func TestCtxFlowOutsideLibrary(t *testing.T) {
+	diags := linttest.Collect(t, lint.CtxFlow, "testdata/src/ctxflow", "anchorlint.example/ctxflow")
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		if !strings.Contains(d.Message, "receives a ctx but calls") {
+			t.Errorf("unexpected diagnostic outside library prefixes: %s", d)
+		}
+	}
+}

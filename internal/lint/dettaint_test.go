@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"anchor/internal/lint"
+	"anchor/internal/lint/linttest"
+)
+
+func TestDetTaintSinks(t *testing.T) {
+	old := lint.TaintSinks
+	lint.TaintSinks = map[string]string{"anchorlint.test/dettaint.Sink": "artifact bytes"}
+	defer func() { lint.TaintSinks = old }()
+	linttest.Run(t, lint.DetTaint, "testdata/src/dettaint", "anchorlint.test/dettaint")
+}
+
+func TestDetTaintMeasures(t *testing.T) {
+	old := lint.TaintMeasurePackages
+	lint.TaintMeasurePackages = append(old[:len(old):len(old)], "anchorlint.test/dettaint_measure")
+	defer func() { lint.TaintMeasurePackages = old }()
+	linttest.Run(t, lint.DetTaint, "testdata/src/dettaint_measure", "anchorlint.test/dettaint_measure")
+}

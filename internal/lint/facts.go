@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// A FactStore caches per-package analyzer facts (for example dettaint's
+// function taint summaries) on disk so repeated lint runs over an
+// unchanged package skip the fixed-point computation. Entries are keyed
+// by (analyzer, package identity); the identity comes from the package's
+// export-data path, whose build-cache action ID hashes the package's
+// transitive sources — when any source in the package or its
+// dependencies changes, the export path changes and the old fact entry
+// is simply never looked up again.
+type FactStore struct {
+	dir string
+}
+
+// OpenFactStore returns a fact store rooted at dir; an empty dir yields
+// a disabled store whose Load always misses.
+func OpenFactStore(dir string) *FactStore {
+	return &FactStore{dir: dir}
+}
+
+// PackageFactKey returns the package's content-addressed cache key, or
+// "" when the package has no export data (linttest fixtures), in which
+// case facts must be recomputed.
+func PackageFactKey(p *Package) string {
+	if p.ExportPath == "" {
+		return ""
+	}
+	sum := sha256.Sum256([]byte(p.ExportPath))
+	return hex.EncodeToString(sum[:16])
+}
+
+func (s *FactStore) path(analyzer, key string) string {
+	return filepath.Join(s.dir, "facts-"+analyzer+"-"+key+".json")
+}
+
+// Load reads the cached fact value for (analyzer, key) into out,
+// reporting whether a valid entry was found.
+func (s *FactStore) Load(analyzer, key string, out any) bool {
+	if s == nil || s.dir == "" || key == "" {
+		return false
+	}
+	data, err := os.ReadFile(s.path(analyzer, key))
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(data, out) == nil
+}
+
+// Save persists the fact value for (analyzer, key). Failures are
+// ignored: the cache is an optimization, never a correctness input.
+func (s *FactStore) Save(analyzer, key string, v any) {
+	if s == nil || s.dir == "" || key == "" {
+		return
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, "facts-*.tmp")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	tmp.Close()
+	os.Rename(tmp.Name(), s.path(analyzer, key))
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+)
+
+// FaultPathPackages lists the packages whose I/O boundaries must be
+// covered by the fault-injection harness (internal/faults): the layers a
+// request crosses between the HTTP listener and the bytes on disk. Tests
+// may override the list to cover fixtures.
+var FaultPathPackages = []string{
+	"anchor/internal/store",
+	"anchor/internal/query",
+	"anchor/internal/serve",
+}
+
+// faultsPackage is the fault-injection harness package.
+const faultsPackage = "anchor/internal/faults"
+
+// faultIOFuncs are the os calls that constitute an I/O boundary for the
+// faultsite rule. Janitorial calls (Remove, Rename, ReadDir — quarantine
+// and temp-sweep paths) are deliberately absent: they run off the
+// request path and injecting faults there tests nothing the chaos
+// contract promises.
+var faultIOFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true,
+	"ReadFile": true, "WriteFile": true, "CreateTemp": true,
+}
+
+// FaultSite keeps `make chaos` honest as subsystems grow: every I/O
+// boundary on the request path must be guarded by a registered fault
+// site (a faults helper call earlier in the same function), and every
+// registered site must actually be exercised by some chaos plan in the
+// tests — otherwise coverage rots silently.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc: "flags os file I/O in store/query/serve functions with no " +
+		"preceding faults helper call (the boundary is invisible to " +
+		"`make chaos`), and faults.Register sites whose name appears in " +
+		"no test file (the site is never scheduled by a chaos plan)",
+	RunModule: runFaultSite,
+}
+
+func runFaultSite(mp *ModulePass) error {
+	checkIOBoundaries(mp)
+	checkRegisteredSites(mp)
+	return nil
+}
+
+// checkIOBoundaries verifies that each os I/O call in a fault-path
+// package is preceded, within its function, by a faults helper call.
+func checkIOBoundaries(mp *ModulePass) {
+	for _, pkg := range mp.Pkgs {
+		if !pkgInList(pkg.PkgPath, FaultPathPackages) {
+			continue
+		}
+		for _, fd := range funcDecls(pkg) {
+			var guardPos []token.Pos
+			type ioCall struct {
+				pos  token.Pos
+				name string
+			}
+			var ioCalls []ioCall
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkgPath, name, ok := pkgFunc(pkg.TypesInfo, call)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkgPath == faultsPackage:
+					guardPos = append(guardPos, call.Pos())
+				case pkgPath == "os" && faultIOFuncs[name]:
+					ioCalls = append(ioCalls, ioCall{call.Pos(), name})
+				}
+				return true
+			})
+			for _, io := range ioCalls {
+				guarded := false
+				for _, g := range guardPos {
+					if g < io.pos {
+						guarded = true
+						break
+					}
+				}
+				if !guarded {
+					mp.Reportf(pkg, io.pos,
+						"os.%s in %s is an I/O boundary with no fault-injection site: call a faults helper (faults.Error(site)) before it so `make chaos` can exercise the failure",
+						io.name, fd.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkRegisteredSites reports faults.Register calls whose site name
+// appears as a string literal in no test file anywhere in the module —
+// the chaos plan cannot be scheduling a site it never names.
+func checkRegisteredSites(mp *ModulePass) {
+	exercised := make(map[string]bool)
+	for _, pkg := range mp.Pkgs {
+		for _, file := range pkg.TestFiles {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						exercised[s] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	type site struct {
+		name string
+		pkg  *Package
+		pos  token.Pos
+	}
+	var sites []site
+	for _, pkg := range mp.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				pkgPath, name, ok := pkgFunc(pkg.TypesInfo, call)
+				if !ok || pkgPath != faultsPackage || name != "Register" {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if s, err := strconv.Unquote(lit.Value); err == nil {
+					sites = append(sites, site{s, pkg, call.Pos()})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].name < sites[j].name })
+	for _, s := range sites {
+		if !exercised[s.name] {
+			mp.Reportf(s.pkg, s.pos,
+				"fault site %q is registered but exercised by no chaos plan: add a schedule rule for it to the chaos tests or remove the site",
+				s.name)
+		}
+	}
+}

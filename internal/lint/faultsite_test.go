@@ -1,0 +1,43 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"anchor/internal/lint"
+	"anchor/internal/lint/linttest"
+)
+
+func TestFaultSite(t *testing.T) {
+	old := lint.FaultPathPackages
+	lint.FaultPathPackages = append(old[:len(old):len(old)], "anchorlint.test/faultsite")
+	defer func() { lint.FaultPathPackages = old }()
+	linttest.Run(t, lint.FaultSite, "testdata/src/faultsite", "anchorlint.test/faultsite")
+}
+
+// TestFaultSiteOffPath checks that I/O boundaries outside
+// FaultPathPackages are not the rule's business — but site registration
+// hygiene still is, wherever the Register call lives.
+func TestFaultSiteOffPath(t *testing.T) {
+	diags := linttest.Collect(t, lint.FaultSite, "testdata/src/faultsite", "anchorlint.example/faultsite")
+	var kept []string
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		// With the I/O-boundary check out of scope, the fixture's ignore
+		// directive no longer suppresses anything, so its hygiene finding
+		// fires too — which is itself the behavior under test.
+		if strings.Contains(d.Message, "suppresses nothing (rules faultsite)") {
+			continue
+		}
+		if !strings.Contains(d.Message, `fault site "fixture/stale"`) {
+			t.Errorf("unexpected off-path diagnostic: %s", d)
+			continue
+		}
+		kept = append(kept, d.Message)
+	}
+	if len(kept) != 1 {
+		t.Errorf("registration hygiene should survive off-path: got %d findings, expected 1", len(kept))
+	}
+}

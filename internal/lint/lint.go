@@ -28,8 +28,9 @@ import (
 	"strings"
 )
 
-// An Analyzer describes one lint rule: a named, documented check that runs
-// over a single type-checked package and reports diagnostics.
+// An Analyzer describes one lint rule: a named, documented check that
+// reports diagnostics. Per-package rules implement Run; rules that need
+// the whole module at once (call-graph analyses) implement RunModule.
 type Analyzer struct {
 	// Name identifies the rule in diagnostics and in
 	// //anchorlint:ignore directives.
@@ -37,8 +38,24 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the contract clause the
 	// rule enforces.
 	Doc string
-	// Run executes the rule over one package.
+	// Severity classifies the rule's findings for drivers and SARIF
+	// output: "error" (the default when empty — unsuppressed findings
+	// fail the build), "warning", or "note".
+	Severity string
+	// Run executes the rule over one package. Nil for module-level rules.
 	Run func(*Pass) error
+	// RunModule executes the rule once over every loaded package, with
+	// the module call graph available. Nil for per-package rules.
+	RunModule func(*ModulePass) error
+}
+
+// EffectiveSeverity resolves the analyzer's severity, defaulting to
+// "error".
+func (a *Analyzer) EffectiveSeverity() string {
+	if a.Severity == "" {
+		return "error"
+	}
+	return a.Severity
 }
 
 // A Pass provides one analyzer run with a single type-checked package and
@@ -78,11 +95,15 @@ type Diagnostic struct {
 	Rule string
 	// Message describes the violation and the sanctioned alternative.
 	Message string
-	// Suppressed reports whether an //anchorlint:ignore directive
-	// covers the finding; suppressed findings do not fail the build.
+	// Suppressed reports whether an //anchorlint:ignore directive (or a
+	// baseline entry) covers the finding; suppressed findings do not
+	// fail the build.
 	Suppressed bool
 	// SuppressReason is the directive's documented justification.
 	SuppressReason string
+	// Baselined reports that the suppression came from a baseline file
+	// rather than an in-source directive.
+	Baselined bool
 }
 
 // String formats the diagnostic in the conventional file:line:col style.
@@ -90,9 +111,57 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Rule)
 }
 
+// A ModulePass provides one module-level analyzer run with every loaded
+// package, the call graph over them, and a sink for diagnostics.
+type ModulePass struct {
+	// Analyzer is the rule being run.
+	Analyzer *Analyzer
+	// Pkgs are all loaded packages, in load order.
+	Pkgs []*Package
+	// Graph is the static call graph over Pkgs (see BuildCallGraph).
+	Graph *CallGraph
+	// Facts caches per-package analyzer facts across runs, keyed by
+	// export-data identity (see FactStore).
+	Facts *FactStore
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos (resolved through pkg's FileSet)
+// under the pass's rule name.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     pkg.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // All returns the full anchorlint analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{SeedRand, MapOrder, FPReduce, SharedWrite}
+	return []*Analyzer{
+		SeedRand, MapOrder, FPReduce, SharedWrite,
+		DetTaint, CtxFlow, FaultSite, SyncGuard,
+	}
+}
+
+// ByName resolves an analyzer by rule name (nil when unknown).
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// SeverityOf resolves a diagnostic rule name to its severity; the
+// pseudo-rule "anchorlint" (directive hygiene) is always an error.
+func SeverityOf(rule string) string {
+	if a := ByName(rule); a != nil {
+		return a.EffectiveSeverity()
+	}
+	return "error"
 }
 
 // ignoreDirective is one parsed //anchorlint:ignore comment.
@@ -184,9 +253,26 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		running[a.Name] = true
 	}
 	var all []Diagnostic
+	// Module-level analyzers first: they share one call graph, built once.
+	var graph *CallGraph
+	facts := OpenFactStore(CacheDir)
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph, Facts: facts, diags: &all}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
 	for _, pkg := range pkgs {
-		var diags []Diagnostic
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -194,39 +280,43 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				PkgPath:   pkg.PkgPath,
-				diags:     &diags,
+				diags:     &all,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
-		var directives []*ignoreDirective
+	}
+	// Suppression directives come from every loaded file and apply by
+	// filename, so module-level findings are suppressible exactly like
+	// per-package ones.
+	var directives []*ignoreDirective
+	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			directives = append(directives, parseDirectives(pkg.Fset, f)...)
 		}
-		for i := range diags {
-			d := &diags[i]
-			for _, dir := range directives {
-				if dir.covers(d.Rule, d.Pos.Line) && dir.pos.Filename == d.Pos.Filename {
-					d.Suppressed = true
-					d.SuppressReason = dir.reason
-					dir.used = true
-					break
-				}
-			}
-		}
+	}
+	for i := range all {
+		d := &all[i]
 		for _, dir := range directives {
-			switch {
-			case dir.err != "":
-				diags = append(diags, Diagnostic{Pos: dir.pos, Rule: "anchorlint", Message: dir.err})
-			case !dir.used && allRunning(dir.rules, running):
-				// Only call a directive stale when every rule it
-				// names was actually run this invocation.
-				diags = append(diags, Diagnostic{Pos: dir.pos, Rule: "anchorlint",
-					Message: fmt.Sprintf("anchorlint:ignore suppresses nothing (rules %s)", strings.Join(dir.rules, ","))})
+			if dir.covers(d.Rule, d.Pos.Line) && dir.pos.Filename == d.Pos.Filename {
+				d.Suppressed = true
+				d.SuppressReason = dir.reason
+				dir.used = true
+				break
 			}
 		}
-		all = append(all, diags...)
+	}
+	for _, dir := range directives {
+		switch {
+		case dir.err != "":
+			all = append(all, Diagnostic{Pos: dir.pos, Rule: "anchorlint", Message: dir.err})
+		case !dir.used && allRunning(dir.rules, running):
+			// Only call a directive stale when every rule it
+			// names was actually run this invocation.
+			all = append(all, Diagnostic{Pos: dir.pos, Rule: "anchorlint",
+				Message: fmt.Sprintf("anchorlint:ignore suppresses nothing (rules %s)", strings.Join(dir.rules, ","))})
+		}
 	}
 	// A nested loop can be visited from two enclosing contexts; keep one
 	// copy of byte-identical findings.

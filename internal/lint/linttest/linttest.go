@@ -45,17 +45,64 @@ var quoted = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 // comments as test errors.
 func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
 	t.Helper()
+	pkg := loadFixture(t, dir, pkgPath)
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.claimed {
+			t.Errorf("%s: %s:%d: no diagnostic matched want %q", a.Name, w.file, w.line, w.re)
+		}
+	}
+}
+
+// Collect type-checks the fixture directory as package pkgPath, runs
+// the analyzer, and returns the raw diagnostics without matching them
+// against expectation comments. It exists for negative tests: loading
+// the same fixture under a package identity outside a rule's configured
+// scope and asserting which findings disappear.
+func Collect(t *testing.T, a *lint.Analyzer, dir, pkgPath string) []lint.Diagnostic {
+	t.Helper()
+	pkg := loadFixture(t, dir, pkgPath)
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return diags
+}
+
+// loadFixture parses and type-checks the fixture directory as package
+// pkgPath. Fixture _test.go files mirror the loader's treatment of real
+// test files: parsed but not type-checked, visible to analyzers only as
+// exercise evidence (faultsite's chaos-plan check), and never a source
+// of findings or expectations.
+func loadFixture(t *testing.T, dir, pkgPath string) *lint.Package {
+	t.Helper()
 	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil || len(paths) == 0 {
 		t.Fatalf("no fixture files in %s (%v)", dir, err)
 	}
 	fset := token.NewFileSet()
-	var files []*ast.File
+	var files, testFiles []*ast.File
 	importSet := map[string]bool{}
 	for _, p := range paths {
 		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
 		if err != nil {
 			t.Fatalf("parsing fixture: %v", err)
+		}
+		if strings.HasSuffix(p, "_test.go") {
+			testFiles = append(testFiles, f)
+			continue
 		}
 		files = append(files, f)
 		for _, imp := range f.Imports {
@@ -76,26 +123,7 @@ func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
 	if err != nil {
 		t.Fatalf("fixtures must type-check: %v", err)
 	}
-	pkg := &lint.Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: typed, TypesInfo: info}
-
-	wants := collectWants(t, fset, files)
-	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
-	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
-	}
-	for _, d := range diags {
-		if d.Suppressed {
-			continue
-		}
-		if !claim(wants, d) {
-			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
-		}
-	}
-	for _, w := range wants {
-		if !w.claimed {
-			t.Errorf("%s: %s:%d: no diagnostic matched want %q", a.Name, w.file, w.line, w.re)
-		}
-	}
+	return &lint.Package{PkgPath: pkgPath, Fset: fset, Files: files, TestFiles: testFiles, Types: typed, TypesInfo: info}
 }
 
 // collectWants extracts every `// want "re"...` expectation.

@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"anchor/internal/lint"
+	"anchor/internal/lint/linttest"
+)
+
+// TestLinttestEdgeCases runs the harness fixture, which exercises the
+// corners of the expectation grammar: one comment carrying two patterns
+// for two findings on the same line, a block-comment expectation, an
+// ignore directive naming an unknown rule (its pseudo-rule finding is
+// claimed from inside the directive text), and a stale directive whose
+// hygiene finding is claimed the same way.
+func TestLinttestEdgeCases(t *testing.T) {
+	old := lint.DeterministicPackages
+	lint.DeterministicPackages = append(old[:len(old):len(old)], "anchorlint.test/harness")
+	defer func() { lint.DeterministicPackages = old }()
+	linttest.Run(t, lint.SeedRand, "testdata/src/harness", "anchorlint.test/harness")
+}

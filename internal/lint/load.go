@@ -24,22 +24,33 @@ type Package struct {
 	Fset *token.FileSet
 	// Files are the parsed library sources (no _test.go files).
 	Files []*ast.File
+	// TestFiles are the package's _test.go sources, parsed but not
+	// type-checked. Module-level analyzers read them for evidence of
+	// exercise (the faultsite chaos-plan check), never for findings.
+	TestFiles []*ast.File
 	// Types is the type-checked package object.
 	Types *types.Package
 	// TypesInfo records type and object resolution for Files.
 	TypesInfo *types.Info
+	// ExportPath is the compiler export-data file `go list -export`
+	// produced for the package. The path embeds the build-cache action
+	// ID — a hash over the package's transitive sources — so it doubles
+	// as a content-addressed identity for fact caching.
+	ExportPath string
 }
 
 // listPackage is the subset of `go list -json` output the loader uses.
 type listPackage struct {
-	ImportPath string
-	Dir        string
-	Name       string
-	GoFiles    []string
-	Export     string
-	DepOnly    bool
-	Standard   bool
-	Error      *struct{ Err string }
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	DepOnly      bool
+	Standard     bool
+	Error        *struct{ Err string }
 }
 
 // goList runs `go list -export -json -deps` in dir and returns the decoded
@@ -75,7 +86,7 @@ func goList(dir string, patterns []string) ([]*listPackage, error) {
 // against export data for its dependencies. Packages matched only as
 // dependencies are used for imports but not analyzed.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	listed, err := goList(dir, patterns)
+	listed, err := goListCached(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -100,16 +111,29 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			}
 			files = append(files, f)
 		}
+		// Test files are parsed (for the chaos-plan exercise check) but
+		// not type-checked: their dependencies are not in the -export
+		// closure, and no analyzer reports findings in them.
+		var testFiles []*ast.File
+		for _, name := range append(append([]string{}, p.TestGoFiles...), p.XTestGoFiles...) {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", filepath.Join(p.Dir, name), err)
+			}
+			testFiles = append(testFiles, f)
+		}
 		pkg, info, err := Check(p.ImportPath, fset, files, imp)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, &Package{
-			PkgPath:   p.ImportPath,
-			Fset:      fset,
-			Files:     files,
-			Types:     pkg,
-			TypesInfo: info,
+			PkgPath:    p.ImportPath,
+			Fset:       fset,
+			Files:      files,
+			TestFiles:  testFiles,
+			Types:      pkg,
+			TypesInfo:  info,
+			ExportPath: p.Export,
 		})
 	}
 	return out, nil
@@ -123,7 +147,7 @@ func ExportData(dir string, patterns ...string) (map[string]string, error) {
 	if len(patterns) == 0 {
 		return map[string]string{}, nil
 	}
-	listed, err := goList(dir, patterns)
+	listed, err := goListCached(dir, patterns)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CacheDir is where anchorlint persists its go-list load cache and
+// per-package fact stores across runs. Empty disables disk caching (the
+// in-process memo still applies); drivers may point it elsewhere.
+var CacheDir = defaultCacheDir()
+
+func defaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "anchorlint")
+}
+
+// goListMemo de-duplicates `go list -export` invocations within one
+// process: every analyzer run and every linttest fixture that lists the
+// same (dir, patterns) pair reuses the first result.
+var goListMemo struct {
+	sync.Mutex
+	m map[string][]*listPackage
+}
+
+// goListCached resolves a `go list -export` invocation through two cache
+// layers: an in-process memo (same process, same patterns) and a disk
+// cache under CacheDir keyed by a hash of the module's source files (so
+// repeated `make lint` runs skip the go tool entirely while the tree is
+// unchanged). A disk hit is only trusted while every export-data file it
+// names still exists in the build cache.
+func goListCached(dir string, patterns []string) ([]*listPackage, error) {
+	memoKey := dir + "\x00" + strings.Join(patterns, "\x00")
+	goListMemo.Lock()
+	if goListMemo.m == nil {
+		goListMemo.m = make(map[string][]*listPackage)
+	}
+	if pkgs, ok := goListMemo.m[memoKey]; ok {
+		goListMemo.Unlock()
+		return pkgs, nil
+	}
+	goListMemo.Unlock()
+
+	var diskKey string
+	if CacheDir != "" {
+		if h, err := moduleHash(dir, patterns); err == nil {
+			diskKey = h
+			if pkgs, ok := readListCache(diskKey); ok {
+				goListMemo.Lock()
+				goListMemo.m[memoKey] = pkgs
+				goListMemo.Unlock()
+				return pkgs, nil
+			}
+		}
+	}
+
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if diskKey != "" {
+		writeListCache(diskKey, pkgs)
+	}
+	goListMemo.Lock()
+	goListMemo.m[memoKey] = pkgs
+	goListMemo.Unlock()
+	return pkgs, nil
+}
+
+// moduleHash fingerprints the module containing dir (or the working
+// directory when dir is empty): every .go file plus go.mod/go.sum from
+// the module root down, hashed by path and content, together with the
+// invocation dir and patterns. Hashing the whole module — not just dir —
+// matters when dir is a fixture directory: its imports resolve to
+// export data whose validity depends on sources elsewhere in the tree.
+func moduleHash(dir string, patterns []string) (string, error) {
+	root := dir
+	if root == "" {
+		var err error
+		if root, err = os.Getwd(); err != nil {
+			return "", err
+		}
+	}
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		root = parent
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "dir %q patterns %q\n", dir, patterns)
+	var paths []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if strings.HasSuffix(name, ".go") || name == "go.mod" || name == "go.sum" {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file %q\n", path)
+		_, err = io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func listCachePath(key string) string {
+	return filepath.Join(CacheDir, "golist-"+key+".json")
+}
+
+func readListCache(key string) ([]*listPackage, bool) {
+	data, err := os.ReadFile(listCachePath(key))
+	if err != nil {
+		return nil, false
+	}
+	var pkgs []*listPackage
+	if err := json.Unmarshal(data, &pkgs); err != nil {
+		return nil, false
+	}
+	// The go build cache is garbage-collected independently of ours: if
+	// any export file vanished, the whole entry is useless.
+	for _, p := range pkgs {
+		if p.Export != "" {
+			if _, err := os.Stat(p.Export); err != nil {
+				return nil, false
+			}
+		}
+	}
+	return pkgs, true
+}
+
+func writeListCache(key string, pkgs []*listPackage) {
+	if err := os.MkdirAll(CacheDir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(pkgs)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(CacheDir, "golist-*.tmp")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	tmp.Close()
+	os.Rename(tmp.Name(), listCachePath(key))
+}

@@ -105,7 +105,7 @@ func checkMapRange(pass *Pass, rng *ast.RangeStmt, fn ast.Node) {
 			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" &&
 				pass.TypesInfo.Uses[id] == types.Universe.Lookup("append") && len(n.Args) > 0 {
 				target := types.ExprString(n.Args[0])
-				if !sortedAfter(pass, fn, rng.End(), target) {
+				if !sortedAfter(pass.TypesInfo, fn, rng.End(), target) {
 					pass.Reportf(n.Pos(),
 						"append to %s inside map iteration with no following sort: element order is randomized per run",
 						target)
@@ -172,14 +172,14 @@ func checkMapRangeIO(pass *Pass, call *ast.CallExpr) {
 
 // sortedAfter reports whether the enclosing function body contains, after
 // pos, a recognized sort call whose subject is the given expression.
-func sortedAfter(pass *Pass, fn ast.Node, pos token.Pos, target string) bool {
+func sortedAfter(info *types.Info, fn ast.Node, pos token.Pos, target string) bool {
 	found := false
 	ast.Inspect(fn, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || call.Pos() < pos || found {
 			return !found
 		}
-		pkgPath, name, ok := pkgFunc(pass.TypesInfo, call)
+		pkgPath, name, ok := pkgFunc(info, call)
 		if !ok || !sortFuncs[[2]string{pkgPath, name}] || len(call.Args) == 0 {
 			return true
 		}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 document model — the subset anchorlint emits, shaped for
+// GitHub code scanning: one run, a populated rule catalogue, and one
+// result per diagnostic with in-source/external suppressions preserved.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID                   string      `json:"id"`
+	ShortDescription     sarifText   `json:"shortDescription"`
+	DefaultConfiguration sarifConfig `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// SARIF renders the diagnostics as a SARIF 2.1.0 log. severityOf
+// resolves each rule's effective severity (SeverityOf plus any driver
+// overrides); file URIs are emitted relative to the working directory so
+// code-scanning annotations land on repository paths.
+func SARIF(diags []Diagnostic, severityOf func(rule string) string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(All())+1)
+	for _, a := range All() {
+		rules = append(rules, sarifRule{
+			ID:                   a.Name,
+			ShortDescription:     sarifText{Text: a.Doc},
+			DefaultConfiguration: sarifConfig{Level: severityToLevel(severityOf(a.Name))},
+		})
+	}
+	rules = append(rules, sarifRule{
+		ID:                   "anchorlint",
+		ShortDescription:     sarifText{Text: "directive hygiene: malformed, unknown-rule, or stale //anchorlint:ignore comments"},
+		DefaultConfiguration: sarifConfig{Level: severityToLevel(severityOf("anchorlint"))},
+	})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		r := sarifResult{
+			RuleID:  d.Rule,
+			Level:   severityToLevel(severityOf(d.Rule)),
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: RelPath(d.Pos.Filename), URIBaseID: "%SRCROOT%"},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		}
+		if d.Suppressed {
+			kind := "inSource"
+			if d.Baselined {
+				kind = "external"
+			}
+			r.Suppressions = []sarifSuppression{{Kind: kind, Justification: d.SuppressReason}}
+		}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "anchorlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}
+
+// severityToLevel maps an analyzer severity to the SARIF result level.
+func severityToLevel(severity string) string {
+	switch severity {
+	case "warning":
+		return "warning"
+	case "note":
+		return "note"
+	default:
+		return "error"
+	}
+}
+
+// RelPath returns the path relative to the working directory in slash
+// form when it lies beneath it, else the path unchanged (slashed). Both
+// SARIF URIs and baseline entries use this normalization so they are
+// machine-independent.
+func RelPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return filepath.ToSlash(path)
+	}
+	if rel, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}

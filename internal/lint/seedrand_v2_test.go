@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"anchor/internal/lint"
+	"anchor/internal/lint/linttest"
+)
+
+func TestSeedRandV2(t *testing.T) {
+	old := lint.DeterministicPackages
+	lint.DeterministicPackages = append(old[:len(old):len(old)], "anchorlint.test/seedrand_v2")
+	defer func() { lint.DeterministicPackages = old }()
+	linttest.Run(t, lint.SeedRand, "testdata/src/seedrand_v2", "anchorlint.test/seedrand_v2")
+}

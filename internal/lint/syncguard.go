@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RequestPathPackages lists the packages whose goroutines and locks sit
+// on the serving path, where a leaked goroutine or a lock held across a
+// blocking call turns one slow request into a stalled server. Tests may
+// override the list to cover fixtures.
+var RequestPathPackages = []string{
+	"anchor/internal/store",
+	"anchor/internal/query",
+	"anchor/internal/serve",
+	"anchor/internal/faults",
+	"anchor/internal/parallel",
+}
+
+// mutexMethods maps the sync lock/unlock method FullNames to their
+// pairing kind: Lock pairs with Unlock, RLock with RUnlock.
+var mutexMethods = map[string]string{
+	"(*sync.Mutex).Lock":      "Lock",
+	"(*sync.Mutex).Unlock":    "Unlock",
+	"(*sync.RWMutex).Lock":    "Lock",
+	"(*sync.RWMutex).Unlock":  "Unlock",
+	"(*sync.RWMutex).RLock":   "RLock",
+	"(*sync.RWMutex).RUnlock": "RUnlock",
+}
+
+// syncBlockingFuncs are direct calls treated as blocking for the
+// held-lock check: sleeps (including injected fault latency) and file
+// I/O.
+var syncBlockingFuncs = map[[2]string]bool{
+	{"time", "Sleep"}: true, {faultsPackage, "Sleep"}: true,
+	{"os", "Open"}: true, {"os", "OpenFile"}: true, {"os", "Create"}: true,
+	{"os", "ReadFile"}: true, {"os", "WriteFile"}: true,
+	{"os", "CreateTemp"}: true, {"os", "ReadDir"}: true,
+	{"os", "Remove"}: true, {"os", "Rename"}: true,
+}
+
+// SyncGuard enforces the request-path concurrency clauses: goroutines
+// launched there are joined in the same function (or provably bounded by
+// the request's ctx), locks are never copied by value, and no mutex is
+// held across a blocking call.
+var SyncGuard = &Analyzer{
+	Name: "syncguard",
+	Doc: "flags request-path goroutines with no join (Wait) in the " +
+		"launching function and no ctx bound, functions that copy a " +
+		"sync.Mutex/RWMutex by value, and locks held across blocking " +
+		"calls (sleeps, file I/O)",
+	Run: runSyncGuard,
+}
+
+func runSyncGuard(pass *Pass) error {
+	if !pkgInList(pass.PkgPath, RequestPathPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoroutineJoin(pass, fd)
+			checkLockCopy(pass, fd)
+			checkLockBlocking(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkGoroutineJoin requires each `go` statement's enclosing function
+// to contain a Wait() join, unless the goroutine body is bounded by the
+// function's ctx (it selects on ctx.Done / checks ctx.Err, so it ends
+// with the request).
+func checkGoroutineJoin(pass *Pass, fd *ast.FuncDecl) {
+	hasWait := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				hasWait = true
+			}
+		}
+		return !hasWait
+	})
+	if hasWait {
+		return
+	}
+	ctxObj := ctxParam(pass.TypesInfo, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if ctxObj != nil {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok && mentionsObj(pass.TypesInfo, lit, ctxObj) {
+				return true
+			}
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine in %s has no join: request-path goroutines must be awaited (WaitGroup/errgroup Wait) in the launching function or bounded by its ctx",
+			fd.Name.Name)
+		return true
+	})
+}
+
+// checkLockCopy flags value receivers and parameters whose type contains
+// a sync.Mutex or sync.RWMutex: the copy and the original lock
+// independently.
+func checkLockCopy(pass *Pass, fd *ast.FuncDecl) {
+	var fields []*ast.Field
+	if fd.Recv != nil {
+		fields = append(fields, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		fields = append(fields, fd.Type.Params.List...)
+	}
+	for _, field := range fields {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t, make(map[types.Type]bool)) {
+			pass.Reportf(field.Type.Pos(),
+				"%s receives %s by value, copying its lock: pass a pointer so all paths contend on one mutex",
+				fd.Name.Name, t.String())
+		}
+	}
+}
+
+// containsLock reports whether t (by value) embeds a sync.Mutex or
+// sync.RWMutex anywhere.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch s := t.String(); s {
+	case "sync.Mutex", "sync.RWMutex":
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// lockEvent is one lock, unlock, or blocking call at a position within a
+// function body.
+type lockEvent struct {
+	pos      token.Pos
+	recv     string // lock/unlock receiver expression, e.g. "s.mu"
+	kind     string // "Lock", "RLock", "Unlock", "RUnlock"
+	deferred bool
+}
+
+// checkLockBlocking pairs each Lock/RLock with its first matching
+// Unlock/RUnlock on the same receiver expression and reports blocking
+// calls inside the held interval. A deferred unlock holds the lock to
+// the end of the function.
+func checkLockBlocking(pass *Pass, fd *ast.FuncDecl) {
+	var locks, unlocks []lockEvent
+	type blockCall struct {
+		pos  token.Pos
+		name string
+	}
+	var blocking []blockCall
+	deferCalls := make(map[token.Pos]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		deferred := false
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			call = n.Call
+			deferred = true
+			// The call node is revisited as Inspect descends into the
+			// DeferStmt; record it so the plain-call case skips it.
+			deferCalls[call.Pos()] = true
+		case *ast.CallExpr:
+			if deferCalls[n.Pos()] {
+				return true
+			}
+			call = n
+		default:
+			return true
+		}
+		if pkgPath, name, ok := pkgFunc(pass.TypesInfo, call); ok {
+			if syncBlockingFuncs[[2]string{pkgPath, name}] {
+				blocking = append(blocking, blockCall{call.Pos(), pkgPath + "." + name})
+			}
+			return true
+		}
+		fn := Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		kind, isMutex := mutexMethods[fn.FullName()]
+		if !isMutex {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ev := lockEvent{pos: call.Pos(), recv: types.ExprString(sel.X), kind: kind, deferred: deferred}
+		if kind == "Lock" || kind == "RLock" {
+			locks = append(locks, ev)
+		} else {
+			unlocks = append(unlocks, ev)
+		}
+		return true
+	})
+	for _, l := range locks {
+		release := l.kind[:len(l.kind)-4] + "Unlock" // Lock→Unlock, RLock→RUnlock
+		end := fd.Body.End()
+		for _, u := range unlocks {
+			if u.pos > l.pos && u.recv == l.recv && u.kind == release && !u.deferred {
+				end = u.pos
+				break
+			}
+		}
+		for _, b := range blocking {
+			if b.pos > l.pos && b.pos < end {
+				pass.Reportf(b.pos,
+					"%s held across %s in %s: release the lock before blocking, or every request sharing it stalls",
+					l.recv, b.name, fd.Name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"anchor/internal/lint"
+	"anchor/internal/lint/linttest"
+)
+
+func TestSyncGuard(t *testing.T) {
+	old := lint.RequestPathPackages
+	lint.RequestPathPackages = append(old[:len(old):len(old)], "anchorlint.test/syncguard")
+	defer func() { lint.RequestPathPackages = old }()
+	linttest.Run(t, lint.SyncGuard, "testdata/src/syncguard", "anchorlint.test/syncguard")
+}

@@ -1,0 +1,66 @@
+// Package ctxflow is the context-discipline fixture: the test lists it
+// as a library package (CtxLibraryPrefixes) and a deterministic package
+// (DeterministicPackages), so root-context minting, uncancelable
+// blocking calls under a received ctx, and I/O loops that never poll
+// their ctx must all be flagged.
+package ctxflow
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// Background mints a root context inside library code.
+func Background() context.Context {
+	return context.Background() // want `context.Background\(\) in library package`
+}
+
+// Todo reaches for the other root constructor.
+func Todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) in library package`
+}
+
+// Sleeper receives a ctx but blocks where cancellation cannot reach.
+func Sleeper(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want `Sleeper receives a ctx but calls time.Sleep`
+}
+
+// RetryLoop performs file I/O each iteration without consulting ctx.
+func RetryLoop(ctx context.Context, path string) error {
+	for i := 0; i < 3; i++ { // want `I/O loop in RetryLoop never polls ctx`
+		if _, err := os.ReadFile(path); err == nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// PolledLoop checks ctx.Err each attempt, so deadlines bound the work.
+func PolledLoop(ctx context.Context, path string) error {
+	for i := 0; i < 3; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := os.ReadFile(path); err == nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// NoCtx was never handed a ctx; the loop rule only binds functions that
+// received one.
+func NoCtx(path string) {
+	for i := 0; i < 3; i++ {
+		if _, err := os.ReadFile(path); err == nil {
+			return
+		}
+	}
+}
+
+// Suppressed documents a deliberate uncancelable pause.
+func Suppressed(ctx context.Context) {
+	//anchorlint:ignore ctxflow fixture pauses without cancellation on purpose
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,96 @@
+// Package dettaint is the interprocedural-taint fixture. The test
+// registers Sink below as a taint sink (surface "artifact bytes"), so
+// any nondeterministic value reaching a Sink argument — directly,
+// through locals, or through a chain of calls — must be flagged, while
+// seeded and laundered derivations stay clean.
+package dettaint
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"anchor/internal/parallel"
+)
+
+// Sink stands in for store.WriteBinary; the test points TaintSinks at it.
+func Sink(v any) {}
+
+// helper reads the clock; its summary is tainted via time.Now.
+func helper() int64 { return time.Now().UnixNano() }
+
+// noise is only tainted transitively, through helper.
+func noise() int64 { return helper() }
+
+// Bad feeds the sink from a direct source, then through a local fed by a
+// two-deep call chain.
+func Bad() {
+	Sink(rand.Intn(256)) // want `nondeterministic value \(from math/rand.Intn\) flows into artifact bytes`
+	v := noise()
+	Sink(v) // want `from time.Now`
+}
+
+// FromEnv ships an environment read.
+func FromEnv() {
+	Sink(os.Getenv("ANCHOR_DEBUG")) // want `from os.Getenv`
+}
+
+// MapOrder appends map values in iteration order and ships the slice.
+func MapOrder(m map[string]int) {
+	var ks []int
+	for _, v := range m {
+		ks = append(ks, v)
+	}
+	Sink(ks) // want `from map iteration order`
+}
+
+// SortedKeys sorts after collecting, which restores determinism.
+func SortedKeys(m map[string]int) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	Sink(ks)
+}
+
+// Seeded derives its randomness from an explicit seed: clean.
+func Seeded(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	Sink(rng.Int63())
+}
+
+// TimeSeeded hides the clock inside a constructor chain; the taint must
+// survive rand.New and rand.NewSource.
+func TimeSeeded() {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	Sink(rng.Int63()) // want `from time.Now`
+}
+
+// Laundered draws from the sanctioned per-shard RNG: ShardRNG cuts
+// taint by construction.
+func Laundered(seed int64) {
+	rng := parallel.ShardRNG(seed, 3, 0)
+	Sink(rng.Int63())
+}
+
+// Timed reads the clock for pacing but returns a pure value, so callers
+// sinking its result stay clean: taint means tainted-return, not mere
+// source presence.
+func Timed(x int) int {
+	start := time.Now()
+	_ = start
+	return x * 2
+}
+
+// CleanCaller sinks Timed's pure result.
+func CleanCaller() {
+	Sink(Timed(3))
+}
+
+// Suppressed documents a deliberate timestamp in the payload.
+func Suppressed() {
+	//anchorlint:ignore dettaint fixture ships a timestamp on purpose
+	Sink(time.Now().UnixNano())
+}

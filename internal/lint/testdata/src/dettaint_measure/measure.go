@@ -1,0 +1,27 @@
+// Package dettaint_measure is the measure-package fixture for the
+// dettaint rule: the test lists this package in TaintMeasurePackages, so
+// any function whose return value carries nondeterminism is reported
+// even though no sink is called.
+package dettaint_measure
+
+import "time"
+
+// Distance derives a measure from the clock.
+func Distance() float64 {
+	return float64(time.Now().UnixNano()) // want `measure value derived from time.Now`
+}
+
+// Pure is a deterministic measure of its inputs.
+func Pure(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Elapsed uses the clock internally but returns a pure value.
+func Elapsed(n int) int {
+	t := time.Now()
+	_ = t
+	return n * n
+}

@@ -1,0 +1,38 @@
+// Package faultsite is the fault-injection-coverage fixture: the test
+// lists it in FaultPathPackages, so unguarded os I/O boundaries must be
+// flagged, and registered sites must appear in some chaos plan — the
+// fixture's faultsite_test.go names fixture/read but not fixture/stale.
+package faultsite
+
+import (
+	"os"
+
+	"anchor/internal/faults"
+)
+
+var (
+	readSite  = faults.Register("fixture/read")
+	staleSite = faults.Register("fixture/stale") // want `fault site "fixture/stale" is registered but exercised by no chaos plan`
+)
+
+// Guarded passes through an injection site before touching the disk.
+func Guarded(path string) ([]byte, error) {
+	if err := faults.Error(readSite); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// Unguarded reads the disk with no injection site on the path.
+func Unguarded(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `os.ReadFile in Unguarded is an I/O boundary with no fault-injection site`
+}
+
+// Suppressed documents a boundary deliberately kept outside the chaos
+// plan.
+func Suppressed(path string) error {
+	//anchorlint:ignore faultsite fixture keeps this janitorial write outside the chaos plan
+	return os.WriteFile(path, nil, 0o644)
+}
+
+var _ = staleSite

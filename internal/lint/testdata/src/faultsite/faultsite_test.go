@@ -1,0 +1,7 @@
+// The fixture's chaos plan: naming a site's string in a test file marks
+// it exercised for the faultsite rule. fixture/stale is deliberately
+// absent. This file is parsed, never type-checked or matched against
+// expectations, mirroring how the loader treats real test files.
+package faultsite
+
+var fixturePlan = []string{"fixture/read"}

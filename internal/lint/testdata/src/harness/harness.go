@@ -1,0 +1,33 @@
+// Package harness exercises linttest edge cases: one expectation
+// comment carrying two patterns for two findings on the same line, a
+// block-comment expectation, an ignore directive naming an unknown rule
+// (the pseudo-rule finding lands on the directive's own line, so its
+// expectation lives inside the directive text), and a stale directive
+// that suppresses nothing.
+package harness
+
+import "math/rand"
+
+// TwoOnOneLine produces two findings on a single line.
+func TwoOnOneLine() float64 {
+	return rand.Float64() + float64(rand.Intn(3)) // want `global math/rand.Float64` `global math/rand.Intn`
+}
+
+// BlockComment binds a block-style expectation to its line.
+func BlockComment() int {
+	return rand.Intn(9) /* want `global math/rand.Intn` */
+}
+
+// UnknownRule carries a directive naming a rule that does not exist.
+//
+//anchorlint:ignore nosuchrule typo demo, see want `names unknown rule "nosuchrule"`
+func UnknownRule() int {
+	return 1
+}
+
+// Stale carries a directive over lines that are perfectly clean.
+//
+//anchorlint:ignore seedrand stale demo, see want `suppresses nothing \(rules seedrand\)`
+func Stale() int {
+	return 2
+}

@@ -1,0 +1,39 @@
+// Package seedrand_v2 covers the math/rand/v2 and duration/ticker
+// spellings of the seedrand rule: the v2 global generator and
+// clock-derived helpers are as nondeterministic as their v1
+// counterparts, and an explicitly seeded v2 generator is the sanctioned
+// replacement.
+package seedrand_v2
+
+import (
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// BadV2 draws from the math/rand/v2 global generator.
+func BadV2() int {
+	n := randv2.IntN(10)  // want `global math/rand/v2.IntN in deterministic package`
+	m := randv2.Uint64()  // want `global math/rand/v2.Uint64 in deterministic package`
+	f := randv2.Float64() // want `global math/rand/v2.Float64 in deterministic package`
+	return n + int(m) + int(f)
+}
+
+// BadClock derives durations and tickers from the wall clock.
+func BadClock(start time.Time) time.Duration {
+	d := time.Since(start)     // want `time.Since in deterministic package`
+	t := time.NewTicker(d + 1) // want `time.NewTicker in deterministic package`
+	t.Stop()
+	return d
+}
+
+// GoodV2 uses an explicitly seeded v2 generator.
+func GoodV2(seed uint64) int {
+	rng := randv2.New(randv2.NewPCG(seed, seed))
+	return rng.IntN(10)
+}
+
+// SuppressedV2 documents a deliberate global draw.
+func SuppressedV2() uint64 {
+	//anchorlint:ignore seedrand fixture draws from the v2 global on purpose
+	return randv2.Uint64()
+}

@@ -1,0 +1,90 @@
+// Package syncguard is the request-path concurrency fixture: the test
+// lists it in RequestPathPackages, so unjoined goroutines, lock-bearing
+// values passed by value, and locks held across blocking calls must be
+// flagged, while joined, ctx-bounded, and release-first shapes stay
+// clean.
+package syncguard
+
+import (
+	"context"
+	"os"
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Joined launches and awaits its goroutine.
+func Joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// Detached leaks a goroutine with no join and no ctx bound.
+func Detached() {
+	go func() {}() // want `goroutine in Detached has no join`
+}
+
+// CtxBounded launches a goroutine that ends with the request's ctx.
+func CtxBounded(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// CopiesLock receives the mutex-bearing state by value.
+func (s state) CopiesLock() int { // want `CopiesLock receives .* by value, copying its lock`
+	return s.n
+}
+
+// TakesLockByValue copies a bare mutex through a parameter.
+func TakesLockByValue(mu sync.Mutex) { // want `TakesLockByValue receives sync.Mutex by value`
+	_ = mu
+}
+
+// UsesPointer shares one mutex with all callers.
+func UsesPointer(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// HoldsAcrossSleep keeps the lock while blocking.
+func (s *state) HoldsAcrossSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `s.mu held across time.Sleep in HoldsAcrossSleep`
+	s.mu.Unlock()
+}
+
+// ReleasesFirst drops the lock before the blocking call.
+func (s *state) ReleasesFirst(path string) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	if _, err := os.ReadFile(path); err != nil {
+		return
+	}
+}
+
+// DeferHold holds via defer to the end of the function, past the I/O.
+func (s *state) DeferHold(path string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := os.ReadFile(path); err != nil { // want `s.mu held across os.ReadFile in DeferHold`
+		return 0
+	}
+	return s.n
+}
+
+// Suppressed documents a deliberate paced backoff under lock.
+func (s *state) Suppressed() {
+	s.mu.Lock()
+	//anchorlint:ignore syncguard fixture holds the lock across a paced backoff on purpose
+	time.Sleep(time.Microsecond)
+	s.mu.Unlock()
+}

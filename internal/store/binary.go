@@ -453,6 +453,9 @@ func decodePayload(payload []byte, n int, kind ElemKind) []float64 {
 // SaveBinaryFile writes e to path in the binary format (not atomically;
 // the store's disk tier goes through its own temp-file + rename).
 func SaveBinaryFile(path string, e *embedding.Embedding, kind ElemKind) error {
+	if err := faults.Error(siteWrite); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)

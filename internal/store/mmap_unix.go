@@ -8,6 +8,7 @@ import (
 	"syscall"
 
 	"anchor/internal/embedding"
+	"anchor/internal/faults"
 )
 
 // MapBinaryFile memory-maps a binary artifact read-only and decodes it in
@@ -17,6 +18,9 @@ import (
 // not be used afterwards. Callers that need an embedding with an unbounded
 // lifetime should use LoadBinaryFile instead.
 func MapBinaryFile(path string) (e *embedding.Embedding, close func() error, err error) {
+	if err := faults.Error(siteBinRead); err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
