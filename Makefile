@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test vet fmt lint anchorlint anchorlint-sarif staticcheck govulncheck lint-tools docs race race-full chaos fuzz-smoke serve-smoke bench bench-artifacts
+.PHONY: build test vet fmt lint anchorlint anchorlint-sarif staticcheck govulncheck lint-tools docs race race-full chaos fuzz-smoke serve-smoke bench bench-artifacts cover
 
 build:
 	$(GO) build ./...
@@ -96,11 +96,21 @@ race-full:
 chaos:
 	$(GO) test -race -run 'Chaos|FaultSchedule' -count=1 -v ./internal/serve/...
 
-# Fuzz smoke: the binary-artifact decoder against corrupt and truncated
+# Fuzz smoke: the binary-artifact decoders against corrupt and truncated
 # inputs for a bounded budget per target. A decode must either succeed on
 # intact bytes or fail cleanly — never panic, never return wrong rows.
+# (Go runs one fuzz target per invocation, hence the two lines.)
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeBinary' -fuzztime 30s ./internal/store/
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeANNIndex' -fuzztime 30s ./internal/ann/
+
+# Statement-coverage gate: run the full suite with a cover profile and
+# enforce the floors in coverage-baseline.json (per-package minimums plus
+# a module-wide total). cmd/covergate fails the build on any regression;
+# ratchet the floors upward by editing the baseline.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage-baseline.json
 
 # Boot the HTTP server against the small config and hit /v1/healthz.
 serve-smoke:
@@ -126,6 +136,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkNeighborsServe|BenchmarkNeighborsPrecision' -benchtime 3x ./internal/query | tee BENCH_query.txt
 	$(GO) run ./cmd/benchjson -o BENCH_query.json < BENCH_query.txt
 	@rm -f BENCH_query.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkANNNeighbors' -benchtime 1x ./internal/ann | tee BENCH_ann.txt
+	$(GO) run ./cmd/benchjson -o BENCH_ann.json < BENCH_ann.txt
+	@rm -f BENCH_ann.txt
 	$(GO) run ./cmd/anchorlint -bench ./... | tee BENCH_lint.txt
 	$(GO) run ./cmd/benchjson -o BENCH_lint.json < BENCH_lint.txt
 	@rm -f BENCH_lint.txt

@@ -1,0 +1,179 @@
+// Command covergate enforces statement-coverage floors from a Go cover
+// profile, so `make cover` (and CI) fail when coverage regresses instead
+// of silently eroding.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	covergate -profile cover.out -baseline coverage-baseline.json
+//
+// The baseline maps package import paths to minimum covered-statement
+// percentages, plus a "total" floor over every profiled statement. A
+// package listed in the baseline but absent from the profile fails the
+// run — a floor must never turn into a no-op because its tests stopped
+// compiling or the package was renamed. Ratchet floors up by editing the
+// baseline; they are floors, not targets, so routine runs above them
+// need no edits.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the JSON gate document.
+type Baseline struct {
+	// Total is the minimum covered-statement percentage across the whole
+	// profile (0 disables the module-wide floor).
+	Total float64 `json:"total"`
+	// Packages maps an import path to its own minimum percentage.
+	Packages map[string]float64 `json:"packages"`
+}
+
+// pkgCover accumulates statement counts for one package.
+type pkgCover struct{ covered, total int }
+
+func (c pkgCover) percent() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+	baseline := flag.String("baseline", "coverage-baseline.json", "JSON file of coverage floors")
+	flag.Parse()
+
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	perPkg, err := readProfile(*profile)
+	if err != nil {
+		fatal(err)
+	}
+
+	var all pkgCover
+	names := make([]string, 0, len(perPkg))
+	for name, c := range perPkg {
+		names = append(names, name)
+		all.covered += c.covered
+		all.total += c.total
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		c := perPkg[name]
+		line := fmt.Sprintf("%-40s %6.1f%%", name, c.percent())
+		if floor, ok := base.Packages[name]; ok {
+			line += fmt.Sprintf("  (floor %.1f%%)", floor)
+			if c.percent() < floor {
+				line += "  FAIL"
+				failed = true
+			}
+		}
+		fmt.Println(line)
+	}
+	floored := make([]string, 0, len(base.Packages))
+	for name := range base.Packages {
+		floored = append(floored, name)
+	}
+	sort.Strings(floored)
+	for _, name := range floored {
+		if _, ok := perPkg[name]; !ok {
+			fmt.Printf("%-40s absent from profile  FAIL\n", name)
+			failed = true
+		}
+	}
+	fmt.Printf("%-40s %6.1f%%  (floor %.1f%%)\n", "total", all.percent(), base.Total)
+	if base.Total > 0 && all.percent() < base.Total {
+		failed = true
+	}
+	if failed {
+		fatal(fmt.Errorf("coverage below baseline %s", *baseline))
+	}
+}
+
+func readBaseline(path string) (Baseline, error) {
+	var b Baseline
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// readProfile aggregates a cover profile's statement counts per package
+// (the directory of each block's file path). Blocks that appear more than
+// once — as they do under -coverpkg when several test binaries exercise
+// the same package — count once, covered if any run covered them.
+func readProfile(name string) (map[string]pkgCover, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type block struct {
+		file, pos string
+		stmts     int
+	}
+	covered := make(map[block]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:12.2,15.16 numStmt count
+		file, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("%s: malformed line %q", name, line)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s: malformed line %q", name, line)
+		}
+		stmts, err1 := strconv.Atoi(fields[1])
+		count, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s: malformed line %q", name, line)
+		}
+		b := block{file: file, pos: fields[0], stmts: stmts}
+		covered[b] = covered[b] || count > 0
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	perPkg := make(map[string]pkgCover)
+	for b, hit := range covered {
+		c := perPkg[path.Dir(b.file)]
+		c.total += b.stmts
+		if hit {
+			c.covered += b.stmts
+		}
+		perPkg[path.Dir(b.file)] = c
+	}
+	return perPkg, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covergate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,334 @@
+// Package ann implements the deterministic approximate-nearest-neighbor
+// index behind the read path's opt-in fast search mode: an IVF (inverted
+// file) index over a seeded spherical k-means coarse quantizer.
+//
+// Exact top-k neighbor search is O(|V|) per query — every query pays one
+// dot product per vocabulary row. At the production vocabulary sizes the
+// ROADMAP targets (10^6+ words) that linear scan is the wall, both for
+// serving reads and for the offline k-NN instability measure, which runs
+// a thousand of those queries per embedding pair. IVF buys back the scan:
+// rows are clustered into nlist cells around k-means centroids, a query
+// scores only the nlist centroids plus the rows of its nprobe nearest
+// cells, and the scanned fraction drops from 1 to roughly nprobe/nlist.
+//
+// The index obeys the repo's bitwise determinism contract
+// (docs/ARCHITECTURE.md):
+//
+//   - Construction is a pure function of (rows, Config). The k-means
+//     init samples seeded, assignment ties break toward the lower
+//     centroid id, and centroid updates accumulate per-shard partial
+//     sums over fixed row ranges folded in ascending shard order via
+//     internal/parallel — so the built index is bitwise identical for
+//     every worker count (pinned by the golden test in ann_test.go).
+//   - Search is exact-consistent: every candidate similarity is computed
+//     by the caller's sim callback (one single-accumulator dot product in
+//     the serving engine — the same float64 every element of the exact
+//     path's blocked kernel produces), and selection uses the exact
+//     path's total order (similarity descending, id ascending). Because
+//     the inverted lists partition the rows, nprobe = nlist scans every
+//     row exactly once and reproduces the exact top-k bitwise; smaller
+//     nprobe trades recall for speed but never reorders or perturbs the
+//     similarities it does report.
+//
+// The built index persists as a versioned, CRC-checked, zero-copy sidecar
+// next to the artifact's .bin file (format.go; internal/store owns the
+// file placement and quarantine-on-corruption policy).
+package ann
+
+import (
+	"math/rand"
+	"sync"
+
+	"anchor/internal/floats"
+	"anchor/internal/matrix"
+	"anchor/internal/parallel"
+)
+
+const (
+	// DefaultIters is the k-means iteration budget when Config.Iters is
+	// zero. Assignment converges long before centroids do; eight rounds
+	// is past the point where list membership stops moving on embedding
+	// data, and the loop exits early when an iteration changes nothing.
+	DefaultIters = 8
+
+	// buildShards is the fixed shard count of the centroid-update
+	// reduction. Like parallel.DefaultShards it is a constant, never
+	// derived from the machine's CPU count: the shard boundaries (and so
+	// the partial-sum accumulation order) are part of the index's
+	// identity, while workers only bound how many shards run at once.
+	buildShards = parallel.DefaultShards
+
+	// assignBlock is the number of rows scored per assignment-step matrix
+	// product; it bounds the similarity scratch at assignBlock×nlist
+	// floats per worker.
+	assignBlock = 256
+)
+
+// DefaultNList returns the coarse-quantizer cell count used when
+// Config.NList is zero: √n (the standard IVF sizing — cell scan cost and
+// centroid scan cost balance there), clamped to [1, n].
+func DefaultNList(n int) int {
+	nlist := 1
+	for (nlist+1)*(nlist+1) <= n {
+		nlist++
+	}
+	if nlist > n {
+		nlist = n
+	}
+	if nlist < 1 {
+		nlist = 1
+	}
+	return nlist
+}
+
+// DefaultNProbe returns the probe count used when a query leaves nprobe
+// zero: ⌈nlist/16⌉. Scanning the nearest ~6% of the cells holds
+// recall@10 ≥ 0.95 on clustered (embedding-like) data — pinned by the
+// property suite — while clearing the ≥5x speedup floor at |V|=100k,
+// where the probed rows are scattered reads against the exact path's
+// sequential scan.
+func DefaultNProbe(nlist int) int {
+	p := (nlist + 15) / 16
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Config parameterizes Build. The zero value selects the defaults; every
+// field except Workers is part of the built index's identity (persisted
+// in the sidecar header), while Workers only bounds concurrency and never
+// changes a bit of the result.
+type Config struct {
+	// NList is the number of k-means cells (0 = DefaultNList(rows)).
+	NList int
+	// Iters is the k-means iteration budget (0 = DefaultIters).
+	Iters int
+	// Seed seeds the centroid initialization.
+	Seed int64
+	// Workers bounds the goroutines used during construction (<= 0
+	// selects all CPUs). The built index is bitwise identical for every
+	// value.
+	Workers int
+}
+
+// withDefaults resolves the zero fields against rows.
+func (c Config) withDefaults(rows int) Config {
+	if c.NList <= 0 {
+		c.NList = DefaultNList(rows)
+	}
+	if c.NList > rows && rows > 0 {
+		c.NList = rows
+	}
+	if c.Iters <= 0 {
+		c.Iters = DefaultIters
+	}
+	return c
+}
+
+// Index is an immutable IVF index over one embedding snapshot's rows. It
+// stores the k-means centroids and, per centroid, the inverted list of
+// row ids assigned to it. The lists partition [0, Rows): every row
+// appears in exactly one list, in ascending id order. An Index is safe
+// for concurrent use.
+type Index struct {
+	// Rows and Dim are the indexed matrix's shape.
+	Rows, Dim int
+	// NList is the cell count; Seed and Iters record the build
+	// configuration (part of the index identity, validated on load).
+	NList int
+	Seed  int64
+	Iters int
+	// Centroids holds the NList unit-norm cell centers.
+	Centroids *matrix.Dense
+	// Starts[c]:Starts[c+1] bound cell c's ids within IDs.
+	Starts []uint32
+	// IDs concatenates the inverted lists, ascending within each list.
+	IDs []int32
+}
+
+// List returns cell c's row ids, ascending.
+func (ix *Index) List(c int) []int32 {
+	return ix.IDs[ix.Starts[c]:ix.Starts[c+1]]
+}
+
+// SizeBytes is the index's in-memory footprint (centroids, offsets,
+// ids), used for the query engine's byte budget.
+func (ix *Index) SizeBytes() int64 {
+	return int64(len(ix.Centroids.Data))*8 + int64(len(ix.Starts))*4 + int64(len(ix.IDs))*4
+}
+
+// Build clusters the rows of m (which must be L2-normalized: the
+// quantizer maximizes dot products, which is cosine only on unit rows)
+// into an IVF index. The result is a pure function of (m, cfg minus
+// Workers): bitwise identical for every worker count.
+func Build(m *matrix.Dense, cfg Config) *Index {
+	n, d := m.Rows, m.Cols
+	cfg = cfg.withDefaults(n)
+	ix := &Index{Rows: n, Dim: d, NList: cfg.NList, Seed: cfg.Seed, Iters: cfg.Iters}
+	if n == 0 {
+		ix.Centroids = matrix.NewDense(cfg.NList, d)
+		ix.Starts = make([]uint32, cfg.NList+1)
+		return ix
+	}
+
+	// Seeded init: nlist distinct rows become the starting centroids. The
+	// draw sequence is a pure function of (Seed, n, NList).
+	cents := matrix.NewDense(cfg.NList, d)
+	for c, id := range sampleDistinct(rand.New(rand.NewSource(cfg.Seed)), n, cfg.NList) {
+		copy(cents.Row(c), m.Row(id))
+	}
+
+	assign := make([]int32, n)
+	prev := make([]int32, n)
+	assignRows(m, cents, assign, cfg.Workers)
+	for it := 0; it < cfg.Iters; it++ {
+		updateCentroids(m, cents, assign, cfg.Workers)
+		copy(prev, assign)
+		assignRows(m, cents, assign, cfg.Workers)
+		if unchanged(prev, assign) {
+			break
+		}
+	}
+
+	// Inverted lists: counting sort by cell. Filling in ascending row
+	// order leaves every list sorted by id.
+	starts := make([]uint32, cfg.NList+1)
+	for _, c := range assign {
+		starts[c+1]++
+	}
+	for c := 1; c <= cfg.NList; c++ {
+		starts[c] += starts[c-1]
+	}
+	ids := make([]int32, n)
+	next := make([]uint32, cfg.NList)
+	copy(next, starts[:cfg.NList])
+	for i, c := range assign {
+		ids[next[c]] = int32(i)
+		next[c]++
+	}
+	ix.Centroids = cents
+	ix.Starts = starts
+	ix.IDs = ids
+	return ix
+}
+
+// sampleDistinct draws k distinct indices uniformly from [0, n) with a
+// sparse partial Fisher–Yates shuffle (O(k) memory). The sequence is a
+// pure function of (rng state, n, k).
+func sampleDistinct(rng *rand.Rand, n, k int) []int {
+	alias := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		vj, ok := alias[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := alias[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		alias[j] = vi
+	}
+	return out
+}
+
+// assignRows writes each row's nearest centroid (max dot product, ties
+// toward the lower centroid id) into assign. Rows are scored in blocks
+// through the blocked MulABT kernel; rows are independent, so banding
+// over workers cannot change any assignment.
+func assignRows(m, cents *matrix.Dense, assign []int32, workers int) {
+	n, d := m.Rows, m.Cols
+	nlist := cents.Rows
+	type scratch struct{ sims *matrix.Dense }
+	pool := sync.Pool{New: func() any {
+		return &scratch{sims: matrix.NewDense(assignBlock, nlist)}
+	}}
+	nBlocks := (n + assignBlock - 1) / assignBlock
+	parallel.Run(workers, nBlocks, func(s int) {
+		lo := s * assignBlock
+		hi := lo + assignBlock
+		if hi > n {
+			hi = n
+		}
+		sc := pool.Get().(*scratch)
+		defer pool.Put(sc)
+		rows := matrix.NewDenseData(hi-lo, d, m.Data[lo*d:hi*d])
+		sims := matrix.NewDenseData(hi-lo, nlist, sc.sims.Data[:(hi-lo)*nlist])
+		// The outer loop already spans the workers; the kernel runs
+		// serially within the block.
+		matrix.MulABTInto(sims, rows, cents, 1)
+		for r := lo; r < hi; r++ {
+			row := sims.Row(r - lo)
+			best, bestSim := int32(0), row[0]
+			for c := 1; c < nlist; c++ {
+				if row[c] > bestSim {
+					best, bestSim = int32(c), row[c]
+				}
+			}
+			assign[r] = best
+		}
+	}, nil)
+}
+
+// updateCentroids recomputes each centroid as the unit-normalized mean of
+// its assigned rows (spherical k-means); cells that captured no rows keep
+// their previous centroid. Partial sums accumulate per shard over fixed
+// row ranges and fold in ascending shard order, so the sums — and with
+// them every centroid bit — are invariant to the worker count.
+func updateCentroids(m, cents *matrix.Dense, assign []int32, workers int) {
+	n, d := m.Rows, m.Cols
+	nlist := cents.Rows
+	bands := parallel.Ranges(n, buildShards)
+	sums := make([][]float64, buildShards)
+	counts := make([][]int32, buildShards)
+	parallel.Run(workers, buildShards, func(s int) {
+		sum := make([]float64, nlist*d)
+		cnt := make([]int32, nlist)
+		for i := bands[s].Lo; i < bands[s].Hi; i++ {
+			c := int(assign[i])
+			cnt[c]++
+			row := m.Row(i)
+			dst := sum[c*d : (c+1)*d : (c+1)*d]
+			for j, v := range row {
+				dst[j] += v
+			}
+		}
+		sums[s] = sum
+		counts[s] = cnt
+	}, nil)
+
+	total := make([]float64, nlist*d)
+	cnt := make([]int32, nlist)
+	for s := 0; s < buildShards; s++ { // ascending shard order: fixed
+		for k, v := range sums[s] {
+			total[k] += v
+		}
+		for c, v := range counts[s] {
+			cnt[c] += v
+		}
+	}
+	for c := 0; c < nlist; c++ {
+		if cnt[c] == 0 {
+			continue // keep the previous centroid
+		}
+		dst := cents.Row(c)
+		inv := 1 / float64(cnt[c])
+		for j := 0; j < d; j++ {
+			dst[j] = total[c*d+j] * inv
+		}
+		floats.Normalize(dst)
+	}
+}
+
+// unchanged reports whether two assignment vectors are identical.
+func unchanged(a, b []int32) bool {
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,312 @@
+package ann
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"anchor/internal/floats"
+	"anchor/internal/matrix"
+)
+
+// clusteredRows builds a unit-normalized row matrix drawn from a seeded
+// Gaussian mixture: ncl random unit centers, rows assigned round-robin
+// with per-coordinate noise. Trained embeddings are clustered — that is
+// why IVF works — so the recall floors are asserted on clustered data;
+// isotropic noise (the adversarial case for any partitioning index) is
+// exercised separately without a floor.
+func clusteredRows(n, d, ncl int, noise float64, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	centers := matrix.NewDense(ncl, d)
+	for i := range centers.Data {
+		centers.Data[i] = rng.NormFloat64()
+	}
+	for c := 0; c < ncl; c++ {
+		floats.Normalize(centers.Row(c))
+	}
+	m := matrix.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		ctr := centers.Row(i % ncl)
+		row := m.Row(i)
+		for j := range row {
+			row[j] = ctr[j] + noise*rng.NormFloat64()
+		}
+		floats.Normalize(row)
+	}
+	return m
+}
+
+// exactTopK is the brute-force oracle: every candidate scored with the
+// same single-accumulator dot the searcher's sim callback uses, ranked
+// by similarity descending with id-ascending tie-breaks.
+func exactTopK(m *matrix.Dense, q []float64, k, self int) []int32 {
+	ids := make([]int32, 0, m.Rows)
+	sims := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		if i == self {
+			continue
+		}
+		ids = append(ids, int32(i))
+		sims[i] = floats.Dot(q, m.Row(i))
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if sims[ids[a]] != sims[ids[b]] {
+			return sims[ids[a]] > sims[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+func overlap(a, b []int32) int {
+	shared := 0
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				shared++
+				break
+			}
+		}
+	}
+	return shared
+}
+
+func sameIndex(a, b *Index) bool {
+	if a.Rows != b.Rows || a.Dim != b.Dim || a.NList != b.NList ||
+		a.Seed != b.Seed || a.Iters != b.Iters ||
+		len(a.Centroids.Data) != len(b.Centroids.Data) ||
+		len(a.Starts) != len(b.Starts) || len(a.IDs) != len(b.IDs) {
+		return false
+	}
+	for i, v := range a.Centroids.Data {
+		if math.Float64bits(v) != math.Float64bits(b.Centroids.Data[i]) {
+			return false
+		}
+	}
+	for i, v := range a.Starts {
+		if b.Starts[i] != v {
+			return false
+		}
+	}
+	for i, v := range a.IDs {
+		if b.IDs[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBuildWorkerInvarianceGolden pins the determinism contract's load-
+// bearing claim: construction is bitwise identical across worker counts.
+// Workers=1 is the golden reference; 2, 4, and 8 must reproduce every
+// centroid bit and every list byte.
+func TestBuildWorkerInvarianceGolden(t *testing.T) {
+	m := clusteredRows(3000, 24, 40, 0.1, 11)
+	golden := Build(m, Config{Seed: 5, Workers: 1})
+	for _, w := range []int{2, 4, 8} {
+		got := Build(m, Config{Seed: 5, Workers: w})
+		if !sameIndex(golden, got) {
+			t.Fatalf("workers=%d: index differs bitwise from workers=1 golden", w)
+		}
+	}
+}
+
+// TestBuildPartitions checks the structural invariants every other
+// component assumes: the inverted lists partition [0, rows) and each
+// list is ascending; centroids are unit-norm (or untouched empties).
+func TestBuildPartitions(t *testing.T) {
+	m := clusteredRows(1777, 12, 20, 0.1, 3)
+	ix := Build(m, Config{Seed: 9})
+	if ix.Starts[0] != 0 || int(ix.Starts[ix.NList]) != ix.Rows {
+		t.Fatalf("starts span [%d, %d), want [0, %d)", ix.Starts[0], ix.Starts[ix.NList], ix.Rows)
+	}
+	seen := make([]bool, ix.Rows)
+	for c := 0; c < ix.NList; c++ {
+		list := ix.List(c)
+		for i, id := range list {
+			if id < 0 || int(id) >= ix.Rows || seen[id] {
+				t.Fatalf("cell %d id %d invalid or duplicated", c, id)
+			}
+			if i > 0 && list[i-1] >= id {
+				t.Fatalf("cell %d not ascending at %d", c, i)
+			}
+			seen[id] = true
+		}
+	}
+	for _, ok := range seen {
+		if !ok {
+			t.Fatal("lists do not cover every row")
+		}
+	}
+}
+
+// TestSearchExactAtFullProbe asserts the golden equivalence the serving
+// path's opt-in mode rests on: nprobe = nlist scans every row exactly
+// once under the exact path's total order, so the returned ids (and with
+// them the similarities, which come from the same callback) match the
+// brute-force oracle bitwise — on clustered and on isotropic data.
+func TestSearchExactAtFullProbe(t *testing.T) {
+	fixtures := map[string]*matrix.Dense{
+		"clustered": clusteredRows(1500, 16, 24, 0.08, 21),
+		"isotropic": clusteredRows(900, 16, 900, 1, 22), // every row its own "cluster": pure noise
+	}
+	for name, m := range fixtures {
+		ix := Build(m, Config{Seed: 1})
+		s := NewSearcher(ix)
+		out := make([]int32, 10)
+		for qi := 0; qi < m.Rows; qi += 37 {
+			q := m.Row(qi)
+			got := s.Search(q, 10, ix.NList, qi, func(id int32) float64 {
+				return floats.Dot(q, m.Row(int(id)))
+			}, out)
+			want := exactTopK(m, q, 10, qi)
+			if len(got) != len(want) {
+				t.Fatalf("%s q=%d: got %d ids, want %d", name, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s q=%d rank %d: got id %d, want %d", name, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSearchRecallTable asserts the recall@10 ≥ 0.95 floor at the
+// default nprobe across dimensions and seeds on clustered fixtures.
+func TestSearchRecallTable(t *testing.T) {
+	cases := []struct {
+		n, d, ncl int
+		seed      int64
+	}{
+		{1500, 16, 24, 1},
+		{1500, 16, 24, 2},
+		{2000, 25, 30, 3},
+		{3000, 50, 40, 4},
+		{1200, 100, 16, 5},
+	}
+	for _, tc := range cases {
+		m := clusteredRows(tc.n, tc.d, tc.ncl, 0.08, tc.seed)
+		r := recallAt10(m, Config{Seed: tc.seed}, 0)
+		if r < 0.95 {
+			t.Errorf("n=%d d=%d ncl=%d seed=%d: recall@10 = %.3f < 0.95",
+				tc.n, tc.d, tc.ncl, tc.seed, r)
+		}
+	}
+}
+
+// recallAt10 builds an index over m and returns mean recall@10 at the
+// given nprobe (0 = default) over a fixed query stride.
+func recallAt10(m *matrix.Dense, cfg Config, nprobe int) float64 {
+	ix := Build(m, cfg)
+	s := NewSearcher(ix)
+	out := make([]int32, 10)
+	hits, total := 0, 0
+	for qi := 0; qi < m.Rows; qi += 29 {
+		q := m.Row(qi)
+		got := s.Search(q, 10, nprobe, qi, func(id int32) float64 {
+			return floats.Dot(q, m.Row(int(id)))
+		}, out)
+		want := exactTopK(m, q, 10, qi)
+		hits += overlap(got, want)
+		total += len(want)
+	}
+	return float64(hits) / float64(total)
+}
+
+// TestSearchProperties drives the two tentpole properties through
+// testing/quick's seed generator: on any clustered fixture, the default
+// nprobe holds the recall floor, and full probe is id-exact against the
+// oracle.
+func TestSearchProperties(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property suite builds many indexes")
+	}
+	prop := func(seed int64) bool {
+		m := clusteredRows(1200, 12, 16, 0.08, seed)
+		if recallAt10(m, Config{Seed: seed}, 0) < 0.95 {
+			t.Logf("seed=%d: recall floor violated", seed)
+			return false
+		}
+		ix := Build(m, Config{Seed: seed})
+		s := NewSearcher(ix)
+		out := make([]int32, 10)
+		for qi := 0; qi < m.Rows; qi += 101 {
+			q := m.Row(qi)
+			got := s.Search(q, 10, ix.NList, qi, func(id int32) float64 {
+				return floats.Dot(q, m.Row(int(id)))
+			}, out)
+			want := exactTopK(m, q, 10, qi)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Logf("seed=%d q=%d rank %d: %d != %d", seed, qi, i, got[i], want[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchEdgeCases covers the empty index, k <= 0, undersized cells,
+// and self-exclusion.
+func TestSearchEdgeCases(t *testing.T) {
+	empty := Build(matrix.NewDense(0, 4), Config{})
+	s := NewSearcher(empty)
+	if got := s.Search([]float64{1, 0, 0, 0}, 5, 0, -1, nil, make([]int32, 5)); len(got) != 0 {
+		t.Fatalf("empty index returned %d ids", len(got))
+	}
+
+	m := clusteredRows(7, 4, 2, 0.05, 1)
+	ix := Build(m, Config{NList: 3, Seed: 2})
+	s = NewSearcher(ix)
+	q := m.Row(0)
+	sim := func(id int32) float64 { return floats.Dot(q, m.Row(int(id))) }
+	if got := s.Search(q, 0, ix.NList, 0, sim, nil); len(got) != 0 {
+		t.Fatalf("k=0 returned %d ids", len(got))
+	}
+	got := s.Search(q, 20, ix.NList, 0, sim, make([]int32, 20))
+	if len(got) != 6 { // 7 rows minus self
+		t.Fatalf("k beyond rows returned %d ids, want 6", len(got))
+	}
+	for _, id := range got {
+		if id == 0 {
+			t.Fatal("self id not excluded")
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	nlistCases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {4, 2}, {10, 3}, {99, 9}, {100, 10}, {10000, 100}, {100000, 316},
+	}
+	for _, tc := range nlistCases {
+		if got := DefaultNList(tc.n); got != tc.want {
+			t.Errorf("DefaultNList(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	nprobeCases := []struct{ nlist, want int }{
+		{1, 1}, {15, 1}, {16, 1}, {17, 2}, {100, 7}, {316, 20},
+	}
+	for _, tc := range nprobeCases {
+		if got := DefaultNProbe(tc.nlist); got != tc.want {
+			t.Errorf("DefaultNProbe(%d) = %d, want %d", tc.nlist, got, tc.want)
+		}
+	}
+	// NList above rows clamps; SizeBytes accounts all three payloads.
+	ix := Build(clusteredRows(5, 4, 2, 0.1, 1), Config{NList: 50})
+	if ix.NList != 5 {
+		t.Fatalf("NList not clamped to rows: %d", ix.NList)
+	}
+	if want := int64(5*4*8 + 6*4 + 5*4); ix.SizeBytes() != want {
+		t.Fatalf("SizeBytes = %d, want %d", ix.SizeBytes(), want)
+	}
+}

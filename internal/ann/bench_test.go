@@ -1,0 +1,74 @@
+package ann
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"anchor/internal/floats"
+	"anchor/internal/matrix"
+)
+
+// exactScan is the brute-force baseline the speedup is measured against:
+// one dot per row plus the same bounded-heap selection the IVF path uses,
+// so the ratio isolates the scan reduction.
+func exactScan(m *matrix.Dense, qi, k int) []int32 {
+	q := m.Row(qi)
+	var h topK
+	h.reset(k)
+	for i := 0; i < m.Rows; i++ {
+		if i == qi {
+			continue
+		}
+		h.push(int32(i), floats.Dot(q, m.Row(i)))
+	}
+	return h.drain(make([]int32, k))
+}
+
+// BenchmarkANNNeighbors measures IVF neighbor queries against the exact
+// scan at |V| ∈ {10k, 100k} on clustered data, reporting the acceptance
+// metrics machine-readable: speedup (exact time / IVF time at default
+// nprobe) and recall@10 against the exact oracle. `make bench` archives
+// the parsed output as BENCH_ann.json.
+func BenchmarkANNNeighbors(b *testing.B) {
+	const d, k, nq = 32, 10, 64
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("V=%d", n), func(b *testing.B) {
+			m := clusteredRows(n, d, n/250, 0.1, 13)
+			ix := Build(m, Config{Seed: 13})
+			queries := make([]int, nq)
+			for i := range queries {
+				queries[i] = (i * 1997) % n
+			}
+
+			want := make([][]int32, nq)
+			exactStart := time.Now()
+			for i, qi := range queries {
+				want[i] = exactScan(m, qi, k)
+			}
+			exactDur := time.Since(exactStart)
+
+			s := NewSearcher(ix)
+			out := make([]int32, k)
+			hits, total := 0, 0
+			b.ResetTimer()
+			annStart := time.Now()
+			for it := 0; it < b.N; it++ {
+				hits, total = 0, 0
+				for i, qi := range queries {
+					q := m.Row(qi)
+					got := s.Search(q, k, 0, qi, func(id int32) float64 {
+						return floats.Dot(q, m.Row(int(id)))
+					}, out)
+					hits += overlap(got, want[i])
+					total += len(want[i])
+				}
+			}
+			annDur := time.Since(annStart) / time.Duration(b.N)
+			b.StopTimer()
+			b.ReportMetric(float64(exactDur)/float64(annDur), "speedup")
+			b.ReportMetric(float64(hits)/float64(total), "recall@10")
+			b.ReportMetric(float64(annDur.Nanoseconds())/nq, "ns/query")
+		})
+	}
+}

@@ -1,0 +1,301 @@
+package ann
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unsafe"
+
+	"anchor/internal/matrix"
+)
+
+// IVF sidecar format ("ANNI"), the index's persisted form. The sidecar
+// lives next to the embedding's .bin artifact in the store's disk tier
+// and follows the same design as the ANCB format (internal/store): a
+// fixed little-endian header, a CRC-32C over the whole file, and raw
+// payloads at a 64-byte-aligned offset so a load is one os.ReadFile (or
+// mmap) plus a header check — the bytes are reinterpreted in place as
+// the index's centroid, offset, and id storage with no copy.
+//
+// Version 1 layout (all integers little-endian):
+//
+//	[0:4)   magic "ANNI"
+//	[4:8)   format version (currently 1)
+//	[8:12)  nlist
+//	[12:16) dim
+//	[16:24) rows
+//	[24:32) build seed
+//	[32:36) build iteration budget
+//	[36:40) sidecar checksum (CRC-32C over the entire file — header,
+//	        padding, payloads — with this field zeroed)
+//	[40:48) payload offset (from file start, 64-byte aligned)
+//	[48:64) reserved (zero)
+//	[payload offset:)
+//	        centroids: nlist*dim float64
+//	        starts:    (nlist+1) uint32 (list c = ids[starts[c]:starts[c+1]])
+//	        ids:       rows int32, ascending within each list
+//
+// The checksum gives the sidecar the failure model's "correct bits or
+// clean error" property: a torn write or bit rot surfaces as ErrCorrupt
+// at decode time (the store quarantines the file and rebuilds the index
+// from the embedding), never as a quietly different neighbor list. The
+// structural checks go further than ANCB's because the payload carries
+// invariants the search path relies on: starts must be monotone and span
+// exactly [0, rows), and ids must be a permutation of [0, rows) sorted
+// ascending within each list. A sidecar that passes Decode is safe to
+// search without any further bounds checks.
+
+const (
+	annMagic = "ANNI"
+	// FormatVersion is the current sidecar format version.
+	FormatVersion = 1
+	annHeaderLen  = 64
+	annAlign      = 64
+)
+
+// Ext is the sidecar's file extension in the store's disk tier.
+const Ext = ".ann"
+
+// ErrCorrupt tags decode failures caused by damaged sidecar bytes —
+// truncation, torn writes, bit rot, checksum or invariant violations —
+// as opposed to a missing file or an I/O error. Loaders quarantine
+// sidecars whose decode fails with errors.Is(err, ErrCorrupt) and
+// rebuild the index from the embedding.
+var ErrCorrupt = errors.New("corrupt ann sidecar")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("ann: %w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+// castagnoli is the CRC-32C table for sidecar checksums (hardware
+// accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLittleEndian reports whether the host stores integers
+// little-endian (the only layout the zero-copy casts are valid for;
+// big-endian hosts fall back to element-wise decoding).
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// payloadLen is the sidecar payload byte count for an index shape.
+func payloadLen(nlist, dim, rows int) int {
+	return nlist*dim*8 + (nlist+1)*4 + rows*4
+}
+
+// Encode writes ix to w in the sidecar format.
+func Encode(w io.Writer, ix *Index) error {
+	payloadOff := (annHeaderLen + annAlign - 1) / annAlign * annAlign
+	pad := make([]byte, payloadOff-annHeaderLen)
+
+	var h [annHeaderLen]byte
+	copy(h[0:4], annMagic)
+	binary.LittleEndian.PutUint32(h[4:8], FormatVersion)
+	binary.LittleEndian.PutUint32(h[8:12], uint32(ix.NList))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(ix.Dim))
+	binary.LittleEndian.PutUint64(h[16:24], uint64(ix.Rows))
+	binary.LittleEndian.PutUint64(h[24:32], uint64(ix.Seed))
+	binary.LittleEndian.PutUint32(h[32:36], uint32(ix.Iters))
+	binary.LittleEndian.PutUint64(h[40:48], uint64(payloadOff))
+
+	cents := float64Bytes(ix.Centroids.Data)
+	starts := uint32Bytes(ix.Starts)
+	ids := int32Bytes(ix.IDs)
+
+	// Whole-file checksum with the checksum field still zero; the header
+	// precedes the payload on the wire and io.Writer cannot seek, so the
+	// payload streams twice — once through the digest, once to w.
+	d := crc32.New(castagnoli)
+	d.Write(h[:])
+	for _, b := range [][]byte{pad, cents, starts, ids} {
+		d.Write(b)
+	}
+	binary.LittleEndian.PutUint32(h[36:40], d.Sum32())
+
+	for _, b := range [][]byte{h[:], pad, cents, starts, ids} {
+		if len(b) == 0 {
+			continue
+		}
+		if _, err := w.Write(b); err != nil {
+			return fmt.Errorf("ann: write sidecar: %w", err)
+		}
+	}
+	return nil
+}
+
+// Decode decodes a sidecar from data and validates every invariant the
+// search path relies on. On little-endian hosts with suitably aligned
+// buffers the returned index aliases data directly (zero copy) — the
+// caller must keep data immutable and alive for the index's lifetime
+// (os.ReadFile allocations satisfy this; for mmap, see
+// store.MapANNFile). Misaligned or big-endian loads copy.
+func Decode(data []byte) (*Index, error) {
+	if len(data) < annHeaderLen {
+		return nil, corruptf("truncated: %d bytes < %d-byte header", len(data), annHeaderLen)
+	}
+	if string(data[0:4]) != annMagic {
+		return nil, corruptf("not an ann sidecar (magic %q)", data[0:4])
+	}
+	version := binary.LittleEndian.Uint32(data[4:8])
+	if version < 1 || version > FormatVersion {
+		return nil, fmt.Errorf("ann: sidecar version %d, want 1..%d", version, FormatVersion)
+	}
+	nlist := int(binary.LittleEndian.Uint32(data[8:12]))
+	dim := int(binary.LittleEndian.Uint32(data[12:16]))
+	rows := int(binary.LittleEndian.Uint64(data[16:24]))
+	seed := int64(binary.LittleEndian.Uint64(data[24:32]))
+	iters := int(binary.LittleEndian.Uint32(data[32:36]))
+	wantSum := binary.LittleEndian.Uint32(data[36:40])
+	payloadOff := int(binary.LittleEndian.Uint64(data[40:48]))
+
+	if nlist < 1 || dim < 0 || rows < 0 || rows > math.MaxInt32 ||
+		nlist > math.MaxInt/8/max(dim, 1) || rows > math.MaxInt/8/max(dim, 1) {
+		return nil, corruptf("shape nlist=%d dim=%d rows=%d", nlist, dim, rows)
+	}
+	if payloadOff < annHeaderLen || payloadOff%annAlign != 0 {
+		return nil, corruptf("payload offset %d", payloadOff)
+	}
+	if want := payloadOff + payloadLen(nlist, dim, rows); len(data) != want {
+		return nil, corruptf("%d bytes, want %d for nlist=%d dim=%d rows=%d",
+			len(data), want, nlist, dim, rows)
+	}
+
+	d := crc32.New(castagnoli)
+	d.Write(data[:36])
+	d.Write([]byte{0, 0, 0, 0}) // the checksum field, as hashed by the writer
+	d.Write(data[40:])
+	if got := d.Sum32(); got != wantSum {
+		return nil, corruptf("sidecar checksum %08x, want %08x", got, wantSum)
+	}
+
+	off := payloadOff
+	cents := decodeFloat64s(data[off:off+nlist*dim*8], nlist*dim)
+	off += nlist * dim * 8
+	starts := decodeUint32s(data[off:off+(nlist+1)*4], nlist+1)
+	off += (nlist + 1) * 4
+	ids := decodeInt32s(data[off:], rows)
+
+	// Structural invariants: starts spans [0, rows) monotonically and ids
+	// is an ascending-within-list permutation of [0, rows). A decoded
+	// index is searched without further bounds checks, so damage that
+	// survives the checksum math above (it cannot, but the decoder does
+	// not rely on that) must still be rejected here.
+	if starts[0] != 0 || starts[nlist] != uint32(rows) {
+		return nil, corruptf("list offsets span [%d, %d), want [0, %d)", starts[0], starts[nlist], rows)
+	}
+	for c := 0; c < nlist; c++ {
+		if starts[c] > starts[c+1] {
+			return nil, corruptf("list offsets not monotone at cell %d", c)
+		}
+	}
+	seen := make([]bool, rows)
+	for c := 0; c < nlist; c++ {
+		list := ids[starts[c]:starts[c+1]]
+		for i, id := range list {
+			if id < 0 || int(id) >= rows || seen[id] {
+				return nil, corruptf("cell %d id %d invalid or duplicated", c, id)
+			}
+			if i > 0 && list[i-1] >= id {
+				return nil, corruptf("cell %d ids not ascending", c)
+			}
+			seen[id] = true
+		}
+	}
+
+	return &Index{
+		Rows: rows, Dim: dim, NList: nlist, Seed: seed, Iters: iters,
+		Centroids: matrix.NewDenseData(nlist, dim, cents),
+		Starts:    starts,
+		IDs:       ids,
+	}, nil
+}
+
+// float64Bytes views vals as little-endian bytes (copying on big-endian
+// hosts).
+func float64Bytes(vals []float64) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*8)
+	}
+	b := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+func uint32Bytes(vals []uint32) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*4)
+	}
+	b := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*4:], v)
+	}
+	return b
+}
+
+func int32Bytes(vals []int32) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*4)
+	}
+	b := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+	}
+	return b
+}
+
+func decodeFloat64s(b []byte, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return vals
+}
+
+func decodeUint32s(b []byte, n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return vals
+}
+
+func decodeInt32s(b []byte, n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return vals
+}

@@ -1,0 +1,177 @@
+package ann
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+
+	"anchor/internal/matrix"
+)
+
+// encodeValid builds and encodes a small valid sidecar.
+func encodeValid(t *testing.T) (*Index, []byte) {
+	t.Helper()
+	ix := Build(clusteredRows(64, 6, 4, 0.1, 17), Config{NList: 5, Seed: 3})
+	var buf bytes.Buffer
+	if err := Encode(&buf, ix); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return ix, buf.Bytes()
+}
+
+// rechecksum recomputes the whole-file CRC after a test mutation so the
+// mutation reaches the structural checks behind it.
+func rechecksum(data []byte) []byte {
+	d := crc32.New(castagnoli)
+	d.Write(data[:36])
+	d.Write([]byte{0, 0, 0, 0})
+	d.Write(data[40:])
+	binary.LittleEndian.PutUint32(data[36:40], d.Sum32())
+	return data
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	ix, data := encodeValid(t)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !sameIndex(ix, got) {
+		t.Fatal("decoded index differs bitwise from the encoded one")
+	}
+	// Re-encode must reproduce the file byte for byte.
+	var buf bytes.Buffer
+	if err := Encode(&buf, got); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("re-encode differs from original bytes")
+	}
+}
+
+func TestFormatRoundTripEmpty(t *testing.T) {
+	ix := Build(matrix.NewDense(0, 3), Config{})
+	var buf bytes.Buffer
+	if err := Encode(&buf, ix); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Rows != 0 || got.NList != ix.NList || got.Dim != 3 {
+		t.Fatalf("empty round trip: rows=%d nlist=%d dim=%d", got.Rows, got.NList, got.Dim)
+	}
+}
+
+// TestFormatRejectsCorrupt walks every rejection branch of the decoder;
+// each mutation must surface ErrCorrupt (or the version error), never a
+// decoded index. These fixtures also seed FuzzDecodeANNIndex.
+func TestFormatRejectsCorrupt(t *testing.T) {
+	_, valid := encodeValid(t)
+	payloadOff := int(binary.LittleEndian.Uint64(valid[40:48]))
+	cases := []struct {
+		name    string
+		corrupt bool // expect ErrCorrupt specifically
+		mutate  func([]byte) []byte
+	}{
+		{"truncated header", true, func(d []byte) []byte { return d[:annHeaderLen-1] }},
+		{"truncated payload", true, func(d []byte) []byte { return d[:len(d)-1] }},
+		{"trailing garbage", true, func(d []byte) []byte { return append(d, 0) }},
+		{"bad magic", true, func(d []byte) []byte { d[0] = 'X'; return d }},
+		{"version 0", false, func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[4:8], 0)
+			return d
+		}},
+		{"future version", false, func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[4:8], FormatVersion+1)
+			return d
+		}},
+		{"nlist zero", true, func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[8:12], 0)
+			return d
+		}},
+		{"rows overflow", true, func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[16:24], math.MaxUint64/2)
+			return d
+		}},
+		{"misaligned payload offset", true, func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[40:48], uint64(payloadOff+1))
+			return d
+		}},
+		{"checksum mismatch", true, func(d []byte) []byte {
+			d[len(d)-1] ^= 1 // flip a payload bit, leave the recorded sum
+			return d
+		}},
+		{"starts not starting at zero", true, func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[payloadOff+5*6*8:], 1)
+			return rechecksum(d)
+		}},
+		{"starts not monotone", true, func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[payloadOff+5*6*8+4:], 65)
+			return rechecksum(d)
+		}},
+		{"id out of range", true, func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[payloadOff+5*6*8+6*4:], 64)
+			return rechecksum(d)
+		}},
+		{"id duplicated", true, func(d []byte) []byte {
+			ids := d[payloadOff+5*6*8+6*4:]
+			copy(ids[4:8], ids[0:4])
+			return rechecksum(d)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), valid...))
+			ix, err := Decode(data)
+			if err == nil {
+				t.Fatal("decode accepted corrupt sidecar")
+			}
+			if ix != nil {
+				t.Fatal("decode returned both an index and an error")
+			}
+			if tc.corrupt && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+			if !tc.corrupt && errors.Is(err, ErrCorrupt) {
+				t.Fatalf("version error %v should not wrap ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestFormatNotAscendingRejected needs a list with two ids to swap; the
+// table above can't guarantee one, so build it directly.
+func TestFormatNotAscendingRejected(t *testing.T) {
+	ix := Build(clusteredRows(32, 4, 1, 0.05, 9), Config{NList: 1, Seed: 1})
+	var buf bytes.Buffer
+	if err := Encode(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	payloadOff := int(binary.LittleEndian.Uint64(data[40:48]))
+	ids := data[payloadOff+1*4*8+2*4:]
+	tmp := make([]byte, 4)
+	copy(tmp, ids[0:4])
+	copy(ids[0:4], ids[4:8])
+	copy(ids[4:8], tmp)
+	if _, err := Decode(rechecksum(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("swapped ids decoded with err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestEncodeWriteError(t *testing.T) {
+	ix, _ := encodeValid(t)
+	if err := Encode(failWriter{}, ix); err == nil || !strings.Contains(err.Error(), "write sidecar") {
+		t.Fatalf("encode to failing writer: %v", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }

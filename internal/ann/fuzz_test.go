@@ -1,0 +1,91 @@
+package ann
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+)
+
+// fuzzSidecar builds a valid encoded sidecar without *testing.T so it
+// can seed the fuzz corpus.
+func fuzzSidecar(n, d, nlist int) []byte {
+	ix := Build(clusteredRows(n, d, max(nlist, 1), 0.1, 7), Config{NList: nlist, Seed: 7})
+	var buf bytes.Buffer
+	if err := Encode(&buf, ix); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeANNIndex throws arbitrary, corrupt, and truncated bytes at
+// the sidecar decoder, mirroring FuzzDecodeBinary in internal/store. The
+// contract under damage is the same: decode cleanly and
+// bitwise-faithfully, or return an error — never panic, never hand back
+// an index whose invariants the search path cannot trust or a re-encode
+// chokes on. Run by `make fuzz-smoke` and CI with a 30s budget.
+func FuzzDecodeANNIndex(f *testing.F) {
+	valid := fuzzSidecar(64, 6, 5)
+	f.Add(valid)
+	f.Add(fuzzSidecar(0, 3, 0))
+	f.Add(fuzzSidecar(33, 2, 33))
+	f.Add([]byte{})
+	// The corrupt fixtures from TestFormatRejectsCorrupt seed the corpus
+	// so the fuzzer starts at every rejection branch.
+	mutate := func(m func([]byte) []byte) { f.Add(m(append([]byte(nil), valid...))) }
+	mutate(func(d []byte) []byte { return d[:annHeaderLen-1] })
+	mutate(func(d []byte) []byte { return d[:len(d)-1] })
+	mutate(func(d []byte) []byte { return append(d, 0) })
+	mutate(func(d []byte) []byte { d[0] = 'X'; return d })
+	mutate(func(d []byte) []byte {
+		binary.LittleEndian.PutUint32(d[8:12], 0) // nlist zero
+		return d
+	})
+	mutate(func(d []byte) []byte {
+		binary.LittleEndian.PutUint64(d[16:24], math.MaxUint64/2) // rows overflow
+		return d
+	})
+	mutate(func(d []byte) []byte {
+		binary.LittleEndian.PutUint64(d[40:48], 1<<20) // payload offset past file
+		return d
+	})
+	mutate(func(d []byte) []byte {
+		d[len(d)-1] ^= 1 // payload bit flip vs recorded checksum
+		return d
+	})
+	payloadOff := int(binary.LittleEndian.Uint64(valid[40:48]))
+	mutate(func(d []byte) []byte {
+		binary.LittleEndian.PutUint32(d[payloadOff+5*6*8:], 1) // starts[0] != 0
+		return rechecksum(d)
+	})
+	mutate(func(d []byte) []byte {
+		ids := d[payloadOff+5*6*8+6*4:]
+		copy(ids[4:8], ids[0:4]) // duplicate id
+		return rechecksum(d)
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("bounded input size")
+		}
+		ix, err := Decode(data)
+		if err != nil {
+			if ix != nil {
+				t.Fatal("decode returned both an index and an error")
+			}
+			return
+		}
+		if ix == nil {
+			t.Fatal("decode returned neither an index nor an error")
+		}
+		// A successful decode must carry the searchable invariants and
+		// survive a round trip through the encoder.
+		if ix.Starts[0] != 0 || int(ix.Starts[ix.NList]) != ix.Rows {
+			t.Fatalf("decoded starts span [%d, %d) for %d rows", ix.Starts[0], ix.Starts[ix.NList], ix.Rows)
+		}
+		if err := Encode(io.Discard, ix); err != nil {
+			t.Fatalf("re-encode of successfully decoded sidecar failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package ann
+
+import (
+	"sort"
+
+	"anchor/internal/floats"
+)
+
+// topK is a bounded min-heap over (similarity, id) pairs with the exact
+// path's ranking rule: higher similarity wins, ties break toward the
+// lower id (core.TopKSelector's order, duplicated here because core
+// imports this package). (similarity, id) pairs are unique — ids are —
+// so the rule is a strict total order and the selected set is
+// independent of push order; only the rule decides membership.
+type topK struct {
+	k     int
+	sims  []float64
+	idxs  []int32
+	order []int // scratch for the final rank sort, reused across queries
+}
+
+// worse reports whether entry a ranks strictly below entry b.
+func (h *topK) worse(a, b int) bool {
+	if h.sims[a] != h.sims[b] {
+		return h.sims[a] < h.sims[b]
+	}
+	return h.idxs[a] > h.idxs[b]
+}
+
+func (h *topK) siftDown(i int) {
+	n := len(h.sims)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.worse(l, min) {
+			min = l
+		}
+		if r < n && h.worse(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.sims[i], h.sims[min] = h.sims[min], h.sims[i]
+		h.idxs[i], h.idxs[min] = h.idxs[min], h.idxs[i]
+		i = min
+	}
+}
+
+func (h *topK) reset(k int) {
+	h.k = k
+	h.sims = h.sims[:0]
+	h.idxs = h.idxs[:0]
+}
+
+// push offers a candidate; the heap retains the k best-ranked seen.
+func (h *topK) push(id int32, sim float64) {
+	if len(h.sims) < h.k {
+		h.sims = append(h.sims, sim)
+		h.idxs = append(h.idxs, id)
+		if len(h.sims) == h.k {
+			for j := h.k/2 - 1; j >= 0; j-- {
+				h.siftDown(j)
+			}
+		}
+		return
+	}
+	// Replace the root when the candidate outranks it.
+	if sim > h.sims[0] || (sim == h.sims[0] && id < h.idxs[0]) {
+		h.sims[0] = sim
+		h.idxs[0] = id
+		h.siftDown(0)
+	}
+}
+
+// drain writes the retained ids into out, best-ranked first, and returns
+// the filled prefix.
+func (h *topK) drain(out []int32) []int32 {
+	out = out[:len(h.idxs)]
+	h.order = h.order[:0]
+	for i := range h.idxs {
+		h.order = append(h.order, i)
+	}
+	sort.Slice(h.order, func(a, b int) bool { return h.worse(h.order[b], h.order[a]) })
+	for i, o := range h.order {
+		out[i] = h.idxs[o]
+	}
+	return out
+}
+
+// Searcher runs IVF queries against one Index, reusing its scratch
+// across queries. A Searcher is not safe for concurrent use — hold one
+// per goroutine (they share the immutable Index).
+type Searcher struct {
+	ix    *Index
+	csims []float64 // per-centroid similarity scratch
+	cells topK      // probe selection
+	cands topK      // candidate selection
+}
+
+// NewSearcher returns a Searcher over ix.
+func NewSearcher(ix *Index) *Searcher {
+	return &Searcher{ix: ix, csims: make([]float64, ix.NList)}
+}
+
+// Search returns the ids of the k best-ranked rows among the cells whose
+// centroids are most similar to q, ordered by similarity descending with
+// id-ascending tie-breaks, written into out (which must have capacity k).
+// q is the unit-normalized query vector and is used only to rank the
+// centroids; each surviving candidate's similarity comes from sim, so
+// the caller owns the similarity math (and with it the bitwise contract
+// against its exact path). self >= 0 excludes that row id. nprobe <= 0
+// selects DefaultNProbe; nprobe >= NList scans every row exactly once,
+// reproducing the exact path's top-k bitwise.
+func (s *Searcher) Search(q []float64, k, nprobe, self int, sim func(id int32) float64, out []int32) []int32 {
+	ix := s.ix
+	if k <= 0 || ix.Rows == 0 {
+		return out[:0]
+	}
+	if nprobe <= 0 {
+		nprobe = DefaultNProbe(ix.NList)
+	}
+	if nprobe > ix.NList {
+		nprobe = ix.NList
+	}
+
+	// Rank the centroids. Scoring all of them with plain dots is O(nlist·d)
+	// — the same cost as scanning one average cell.
+	for c := 0; c < ix.NList; c++ {
+		s.csims[c] = floats.Dot(q, ix.Centroids.Row(c))
+	}
+	s.cells.reset(nprobe)
+	for c := 0; c < ix.NList; c++ {
+		s.cells.push(int32(c), s.csims[c])
+	}
+
+	// Scan the probed cells' rows. The candidate heap's total order makes
+	// the result independent of cell visit order; iterating the retained
+	// heap storage directly skips the rank sort the probe set doesn't need.
+	s.cands.reset(k)
+	for _, c := range s.cells.idxs {
+		for _, id := range ix.List(int(c)) {
+			if int(id) == self {
+				continue
+			}
+			s.cands.push(id, sim(id))
+		}
+	}
+	return s.cands.drain(out)
+}

@@ -267,3 +267,53 @@ func BenchmarkKNNMeasureBatched3000(b *testing.B) {
 		m.Distance(x, xt)
 	}
 }
+
+// TestKNNANNRouteExactAtFullProbe: with the IVF route forced on and
+// nprobe covering every cell, the routed measure must equal the exact
+// measure bitwise — the probed scan visits each row exactly once with
+// the exact engine's arithmetic.
+func TestKNNANNRouteExactAtFullProbe(t *testing.T) {
+	x, xt := benchKNNPair(600, 24)
+	exact := &KNN{K: 5, Queries: 200, Seed: 7, Workers: 2}
+	routed := &KNN{K: 5, Queries: 200, Seed: 7, Workers: 2, ANNCutoff: 1, NProbe: 600}
+	dExact := exact.Distance(x, xt)
+	dRouted := routed.Distance(x, xt)
+	if dExact != dRouted {
+		t.Fatalf("full-probe routed measure %v != exact %v", dRouted, dExact)
+	}
+}
+
+// TestKNNANNRoutePartialProbeClose: at a partial probe the routed
+// measure is an approximation; on a correlated pair it must land near
+// the exact value, and it must be identical across worker counts. (Half
+// the cells, not the production default: the isotropic Gaussian fixture
+// is a recall worst case — real embeddings cluster.)
+func TestKNNANNRoutePartialProbeClose(t *testing.T) {
+	x, xt := benchKNNPair(600, 24)
+	exact := &KNN{K: 5, Queries: 200, Seed: 7}
+	dExact := exact.Distance(x, xt)
+	var first float64
+	for i, workers := range []int{1, 3, 8} {
+		routed := &KNN{K: 5, Queries: 200, Seed: 7, Workers: workers, ANNCutoff: 1, NProbe: 12}
+		d := routed.Distance(x, xt)
+		if i == 0 {
+			first = d
+		} else if d != first {
+			t.Fatalf("workers=%d routed measure %v != workers=1 %v", workers, d, first)
+		}
+	}
+	if diff := first - dExact; diff < -0.1 || diff > 0.1 {
+		t.Fatalf("partial-probe routed measure %v too far from exact %v", first, dExact)
+	}
+}
+
+// TestKNNANNCutoffRespected: below the cutoff the exact scan runs — the
+// measure equals the ANNCutoff=0 configuration exactly.
+func TestKNNANNCutoffRespected(t *testing.T) {
+	x, xt := benchKNNPair(300, 16)
+	base := &KNN{K: 5, Queries: 100, Seed: 7}
+	cut := &KNN{K: 5, Queries: 100, Seed: 7, ANNCutoff: 301}
+	if a, b := base.Distance(x, xt), cut.Distance(x, xt); a != b {
+		t.Fatalf("below-cutoff measure %v != exact %v", b, a)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"anchor/internal/ann"
 	"anchor/internal/compress"
 	"anchor/internal/core"
 	"anchor/internal/embedding"
@@ -131,6 +132,13 @@ type Stats struct {
 	// (see WithRetry). A nonzero value means the source failed
 	// transiently and the engine recovered without surfacing an error.
 	Retries int64
+	// ANNQueries counts neighbor queries answered through the IVF index
+	// (Mode.ANN); exact queries are counted by BatchedQueries.
+	ANNQueries int64
+	// ANNBuilds counts in-process IVF index constructions. Indexes
+	// resolved by an ANNSource from a persisted sidecar don't build, so
+	// ANNBuilds stays at zero on a warm store.
+	ANNBuilds int64
 }
 
 // Engine serves vector, neighbor, and neighbor-delta queries over
@@ -143,6 +151,7 @@ type Engine struct {
 	workers  int
 	attempts int
 	backoff  time.Duration
+	annSrc   ANNSource
 
 	mu     sync.Mutex
 	items  map[Ref]*list.Element
@@ -151,6 +160,7 @@ type Engine struct {
 	flight map[Ref]*snapFlight
 
 	hits, loads, evictions, batches, batchedQueries, retries atomic.Int64
+	annQueries, annBuilds                                    atomic.Int64
 }
 
 // Option configures New.
@@ -231,6 +241,8 @@ func (e *Engine) Stats() Stats {
 		Batches:        e.batches.Load(),
 		BatchedQueries: e.batchedQueries.Load(),
 		Retries:        e.retries.Load(),
+		ANNQueries:     e.annQueries.Load(),
+		ANNBuilds:      e.annBuilds.Load(),
 	}
 }
 
@@ -333,6 +345,11 @@ type snapshot struct {
 
 	mu  sync.Mutex
 	cur *gather // open micro-batch, nil when none
+
+	// annMu serializes the lazy IVF index build; annIdx is the built (or
+	// sidecar-loaded) index, nil until the first ANN query.
+	annMu  sync.Mutex
+	annIdx *ann.Index
 }
 
 // gather is one micro-batch being collected during a window.
@@ -539,6 +556,12 @@ func (e *Engine) insertLocked(s *snapshot) {
 	}
 	e.items[s.ref] = e.lru.PushFront(s)
 	e.bytes += s.bytes
+	e.evictOverBudgetLocked()
+}
+
+// evictOverBudgetLocked drops least-recently-used snapshots until the
+// budget holds, always keeping the most recent one. Caller holds e.mu.
+func (e *Engine) evictOverBudgetLocked() {
 	if e.budget <= 0 {
 		return
 	}
@@ -589,14 +612,7 @@ func (e *Engine) Vector(ctx context.Context, ref Ref, word string) (int, []float
 		return 0, nil, err
 	}
 	vec := make([]float64, s.dim)
-	switch s.mode {
-	case precCodes:
-		s.codes.DequantizeRow(id, vec)
-	case precFloat32:
-		s.raw32.WidenRow(id, vec)
-	default:
-		copy(vec, s.raw.Vector(id))
-	}
+	s.fillRaw(id, vec)
 	return id, vec, nil
 }
 
@@ -858,6 +874,12 @@ func (e *Engine) NeighborDelta(ctx context.Context, refA, refB Ref, words []stri
 	if err != nil {
 		return nil, err
 	}
+	return deltas(words, na, nb), nil
+}
+
+// deltas computes the per-word overlap records from two aligned
+// neighbor-list batches.
+func deltas(words []string, na, nb [][]Neighbor) []Delta {
 	out := make([]Delta, len(words))
 	for i, w := range words {
 		ia := make([]int32, len(na[i]))
@@ -875,5 +897,5 @@ func (e *Engine) NeighborDelta(ctx context.Context, refA, refB Ref, words []stri
 		}
 		out[i] = d
 	}
-	return out, nil
+	return out
 }

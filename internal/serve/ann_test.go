@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"anchor"
+)
+
+// TestNeighborsEndpointANN: the ann/nprobe request fields route
+// /v1/neighbors through the IVF index. At an nprobe covering every cell
+// the answer body's neighbor lists are bitwise the exact endpoint's
+// (ids and scores); the reply echoes the mode; and the engine's ANN
+// counters move.
+func TestNeighborsEndpointANN(t *testing.T) {
+	srv, svc := newTestServer(t)
+	words := queryWords(t, svc, 6)
+	h := srv.Handler()
+
+	type reply struct {
+		ANN     bool `json:"ann"`
+		NProbe  int  `json:"nprobe"`
+		Results []struct {
+			Word      string            `json:"word"`
+			Neighbors []json.RawMessage `json:"neighbors"`
+		} `json:"results"`
+	}
+	body := func(word string, ann bool, nprobe int) string {
+		return fmt.Sprintf(`{"algo":"mc","words":[%q],"dim":8,"k":5,"year":2017,"seed":1,"ann":%v,"nprobe":%d}`,
+			word, ann, nprobe)
+	}
+
+	for _, w := range words {
+		var exact, approx reply
+		if rr := do(t, h, http.MethodPost, "/v1/neighbors", body(w, false, 0), &exact); rr.Code != http.StatusOK {
+			t.Fatalf("exact %s: %d %s", w, rr.Code, rr.Body.String())
+		}
+		// nprobe far above any cell count = full probe = exact bitwise.
+		if rr := do(t, h, http.MethodPost, "/v1/neighbors", body(w, true, 1<<20), &approx); rr.Code != http.StatusOK {
+			t.Fatalf("ann %s: %d %s", w, rr.Code, rr.Body.String())
+		}
+		if !approx.ANN || approx.NProbe != 1<<20 {
+			t.Fatalf("ann reply does not echo mode: ann=%v nprobe=%d", approx.ANN, approx.NProbe)
+		}
+		if exact.ANN {
+			t.Fatal("exact reply claims ann")
+		}
+		if len(approx.Results) != 1 || len(exact.Results) != 1 {
+			t.Fatalf("result shape: %d vs %d", len(approx.Results), len(exact.Results))
+		}
+		ga, ge := approx.Results[0].Neighbors, exact.Results[0].Neighbors
+		if len(ga) != len(ge) {
+			t.Fatalf("%s: %d ann neighbors vs %d exact", w, len(ga), len(ge))
+		}
+		for i := range ge {
+			if string(ga[i]) != string(ge[i]) {
+				t.Fatalf("%s neighbor %d: ann %s != exact %s", w, i, ga[i], ge[i])
+			}
+		}
+	}
+	st := svc.QueryStats()
+	if st.ANNQueries != int64(len(words)) {
+		t.Fatalf("ANNQueries = %d, want %d", st.ANNQueries, len(words))
+	}
+	if st.BatchedQueries != int64(len(words)) {
+		t.Fatalf("BatchedQueries = %d, want %d (exact queries only)", st.BatchedQueries, len(words))
+	}
+	if st.ANNBuilds != 1 {
+		t.Fatalf("ANNBuilds = %d, want one lazy build", st.ANNBuilds)
+	}
+}
+
+// TestNeighborDeltaEndpointANN: /v1/neighbors/delta accepts the same
+// ann/nprobe fields and at full probe reports the exact overlaps.
+func TestNeighborDeltaEndpointANN(t *testing.T) {
+	srv, svc := newTestServer(t)
+	words := queryWords(t, svc, 4)
+	h := srv.Handler()
+
+	payload := func(ann string) string {
+		list := ""
+		for i, w := range words {
+			if i > 0 {
+				list += ","
+			}
+			list += fmt.Sprintf("%q", w)
+		}
+		return fmt.Sprintf(`{"algo":"mc","words":[%s],"dim":8,"k":5,"seed":1%s}`, list, ann)
+	}
+	var exact, approx anchor.NeighborDeltaReport
+	if rr := do(t, h, http.MethodPost, "/v1/neighbors/delta", payload(""), &exact); rr.Code != http.StatusOK {
+		t.Fatalf("exact delta: %d %s", rr.Code, rr.Body.String())
+	}
+	if rr := do(t, h, http.MethodPost, "/v1/neighbors/delta", payload(`,"ann":true,"nprobe":1048576`), &approx); rr.Code != http.StatusOK {
+		t.Fatalf("ann delta: %d %s", rr.Code, rr.Body.String())
+	}
+	if !approx.ANN {
+		t.Fatal("delta reply does not echo ann")
+	}
+	if approx.MeanOverlap != exact.MeanOverlap {
+		t.Fatalf("full-probe mean overlap %v != exact %v", approx.MeanOverlap, exact.MeanOverlap)
+	}
+	for i := range exact.Results {
+		if approx.Results[i].Shared != exact.Results[i].Shared {
+			t.Fatalf("word %d shared %d != exact %d", i, approx.Results[i].Shared, exact.Results[i].Shared)
+		}
+	}
+}

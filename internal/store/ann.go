@@ -1,0 +1,96 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"anchor/internal/ann"
+	"anchor/internal/faults"
+)
+
+// ANN sidecar tier: the IVF index built over an embedding artifact's
+// normalized rows persists as a versioned, CRC-checked .ann file next to
+// the artifact's .bin, keyed by the artifact identity plus the index's
+// own nlist (so different cell counts never collide). The sidecar
+// follows the disk tier's failure rules: written atomically, quarantined
+// on corruption, and rebuilt — never served damaged. Unlike embeddings,
+// indexes are derived data, so the memory tier does not hold them (the
+// query engine caches its own per-snapshot index) and there is no
+// portable fallback encoding: a lost sidecar is just a rebuild.
+
+// siteANNRead is the fault-injection site for sidecar reads.
+var siteANNRead = faults.Register("store/ann.read")
+
+// annPath returns the sidecar path for k at the given cell count.
+func (s *Store) annPath(k Key, nlist int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s-ivf%d%s", k.ID(), nlist, ann.Ext))
+}
+
+// LoadANNFile reads and decodes an IVF sidecar in one os.ReadFile; the
+// decoded index aliases the file buffer (zero copy, see ann.Decode).
+func LoadANNFile(path string) (*ann.Index, error) {
+	if err := faults.Error(siteANNRead); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return ann.Decode(data)
+}
+
+// GetANN returns the IVF index for the artifact under k, loading the
+// sidecar from the disk tier when present and building (then persisting,
+// best-effort) otherwise. rows and dim are the indexed snapshot's shape;
+// a sidecar that does not match the requested shape and build
+// configuration exactly is stale — treated as a miss and overwritten —
+// and a corrupt sidecar is quarantined first, so a served index is
+// always exactly what build would return. Memory-only stores just build.
+func (s *Store) GetANN(k Key, cfg ann.Config, rows, dim int, build func() (*ann.Index, error)) (*ann.Index, error) {
+	nlist := cfg.NList
+	if nlist <= 0 {
+		nlist = ann.DefaultNList(rows)
+	}
+	path := ""
+	if s.dir != "" {
+		path = s.annPath(k, nlist)
+		ix, err := LoadANNFile(path)
+		if err == nil && annMatches(ix, cfg, nlist, rows, dim) {
+			s.annDiskHits.Add(1)
+			return ix, nil
+		}
+		if err != nil && errors.Is(err, ann.ErrCorrupt) {
+			s.quarantine(path)
+		}
+		// Anything else — absent file, transient read error, version or
+		// shape mismatch — is a miss; the rebuild below overwrites it.
+		_ = err
+	}
+
+	s.annBuilds.Add(1)
+	ix, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		if err := s.writeAtomic(k, path, func(w *os.File) error {
+			return ann.Encode(w, ix)
+		}); err != nil {
+			s.persistErrs.Add(1)
+		}
+	}
+	return ix, nil
+}
+
+// annMatches reports whether a decoded sidecar is the index the request
+// describes: same shape and same build identity (seed, iters, nlist).
+func annMatches(ix *ann.Index, cfg ann.Config, nlist, rows, dim int) bool {
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = ann.DefaultIters
+	}
+	return ix.Rows == rows && ix.Dim == dim && ix.NList == nlist &&
+		ix.Seed == cfg.Seed && ix.Iters == iters
+}

@@ -1,0 +1,275 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"anchor/internal/ann"
+	"anchor/internal/faults"
+	"anchor/internal/matrix"
+)
+
+func annTestRows(n, d int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.NewDense(n, d)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	for r := 0; r < n; r++ {
+		row := m.Row(r)
+		var s float64
+		for _, v := range row {
+			s += v * v
+		}
+		s = math.Sqrt(s)
+		for j := range row {
+			row[j] /= s
+		}
+	}
+	return m
+}
+
+func annIndexEqualBits(t *testing.T, a, b *ann.Index) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Dim != b.Dim || a.NList != b.NList || a.Seed != b.Seed || a.Iters != b.Iters {
+		t.Fatalf("index identity differs: %+v vs %+v", a, b)
+	}
+	for i, v := range a.Centroids.Data {
+		if math.Float64bits(v) != math.Float64bits(b.Centroids.Data[i]) {
+			t.Fatalf("centroid bits differ at %d", i)
+		}
+	}
+	for i, v := range a.Starts {
+		if b.Starts[i] != v {
+			t.Fatalf("starts differ at %d", i)
+		}
+	}
+	for i, v := range a.IDs {
+		if b.IDs[i] != v {
+			t.Fatalf("ids differ at %d", i)
+		}
+	}
+}
+
+func annTestKey() Key {
+	return Key{Algo: "cbow", Corpus: "wiki17", Dim: 8, Seed: 1, Bits: 32, Scope: "t"}
+}
+
+// TestGetANNBuildsAndHitsDisk: the first GetANN builds and persists the
+// sidecar; a second store over the same directory serves it from disk,
+// bitwise identical, without invoking build.
+func TestGetANNBuildsAndHitsDisk(t *testing.T) {
+	dir := t.TempDir()
+	m := annTestRows(200, 8, 3)
+	cfg := ann.Config{NList: 6, Seed: 9}
+	k := annTestKey()
+
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := s1.GetANN(k, cfg, m.Rows, m.Cols, func() (*ann.Index, error) {
+		return ann.Build(m, cfg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s1.Stats(); st.ANNBuilds != 1 || st.ANNDiskHits != 0 {
+		t.Fatalf("stats after build = %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, k.ID()+"-ivf6"+ann.Ext)); err != nil {
+		t.Fatalf("sidecar not persisted: %v", err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := s2.GetANN(k, cfg, m.Rows, m.Cols, func() (*ann.Index, error) {
+		t.Fatal("build invoked despite warm sidecar")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	annIndexEqualBits(t, built, loaded)
+	if st := s2.Stats(); st.ANNBuilds != 0 || st.ANNDiskHits != 1 {
+		t.Fatalf("stats after disk hit = %+v", st)
+	}
+}
+
+// TestGetANNMemoryOnly: a memory-only store builds every time (indexes
+// are derived data; callers cache them).
+func TestGetANNMemoryOnly(t *testing.T) {
+	m := annTestRows(60, 4, 5)
+	cfg := ann.Config{NList: 4, Seed: 2}
+	s := Memory()
+	for i := 0; i < 2; i++ {
+		if _, err := s.GetANN(annTestKey(), cfg, m.Rows, m.Cols, func() (*ann.Index, error) {
+			return ann.Build(m, cfg), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.ANNBuilds != 2 {
+		t.Fatalf("memory-only builds = %d, want 2", st.ANNBuilds)
+	}
+}
+
+// TestGetANNQuarantinesCorruptSidecar: a damaged sidecar is moved aside
+// and rebuilt; the damaged bytes are never served and the repaired file
+// takes its place.
+func TestGetANNQuarantinesCorruptSidecar(t *testing.T) {
+	dir := t.TempDir()
+	m := annTestRows(200, 8, 3)
+	cfg := ann.Config{NList: 6, Seed: 9}
+	k := annTestKey()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := s.GetANN(k, cfg, m.Rows, m.Cols, func() (*ann.Index, error) {
+		return ann.Build(m, cfg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, k.ID()+"-ivf6"+ann.Ext)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.GetANN(k, cfg, m.Rows, m.Cols, func() (*ann.Index, error) {
+		return ann.Build(m, cfg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	annIndexEqualBits(t, built, got)
+	if st := s2.Stats(); st.Quarantines != 1 || st.ANNBuilds != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantine and 1 build", st)
+	}
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("damaged sidecar not quarantined: %v", err)
+	}
+	if _, err := LoadANNFile(path); err != nil {
+		t.Fatalf("repaired sidecar unreadable: %v", err)
+	}
+}
+
+// TestGetANNStaleSidecarRebuilt: a sidecar whose build identity differs
+// from the request (here: another seed) is a miss, not an answer.
+func TestGetANNStaleSidecarRebuilt(t *testing.T) {
+	dir := t.TempDir()
+	m := annTestRows(200, 8, 3)
+	k := annTestKey()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := ann.Config{NList: 6, Seed: 1}
+	if _, err := s.GetANN(k, cfgA, m.Rows, m.Cols, func() (*ann.Index, error) {
+		return ann.Build(m, cfgA), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfgB := ann.Config{NList: 6, Seed: 2}
+	got, err := s.GetANN(k, cfgB, m.Rows, m.Cols, func() (*ann.Index, error) {
+		return ann.Build(m, cfgB), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 2 {
+		t.Fatalf("served stale sidecar with seed %d", got.Seed)
+	}
+	if st := s.Stats(); st.ANNBuilds != 2 || st.ANNDiskHits != 0 {
+		t.Fatalf("stats = %+v, want 2 builds and no disk hits", st)
+	}
+	// The rebuild overwrote the stale sidecar: a third request disk-hits.
+	if _, err := s.GetANN(k, cfgB, m.Rows, m.Cols, func() (*ann.Index, error) {
+		t.Fatal("build invoked despite repaired sidecar")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.ANNDiskHits != 1 {
+		t.Fatalf("stats = %+v, want 1 disk hit", st)
+	}
+}
+
+// TestGetANNInjectedReadError: a transient I/O error on the sidecar read
+// (injected at store/ann.read) degrades to a rebuild without
+// quarantining the intact file.
+func TestGetANNInjectedReadError(t *testing.T) {
+	dir := t.TempDir()
+	m := annTestRows(120, 6, 4)
+	cfg := ann.Config{NList: 5, Seed: 3}
+	k := annTestKey()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := s.GetANN(k, cfg, m.Rows, m.Cols, func() (*ann.Index, error) {
+		return ann.Build(m, cfg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer faults.Activate(faults.MustPlan(1, faults.Rule{Site: "store/ann.read", Kind: faults.KindError, Count: 1}))()
+	got, err := s.GetANN(k, cfg, m.Rows, m.Cols, func() (*ann.Index, error) {
+		return ann.Build(m, cfg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	annIndexEqualBits(t, built, got)
+	if st := s.Stats(); st.Quarantines != 0 {
+		t.Fatalf("transient read error quarantined the sidecar: %+v", st)
+	}
+}
+
+// TestMapANNFile: the mmap load decodes the same bits as the ReadFile
+// load and the close function releases the mapping.
+func TestMapANNFile(t *testing.T) {
+	dir := t.TempDir()
+	m := annTestRows(200, 8, 3)
+	cfg := ann.Config{NList: 6, Seed: 9}
+	k := annTestKey()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := s.GetANN(k, cfg, m.Rows, m.Cols, func() (*ann.Index, error) {
+		return ann.Build(m, cfg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.ID()+"-ivf6"+ann.Ext)
+	mapped, closeFn, err := MapANNFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annIndexEqualBits(t, built, mapped)
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MapANNFile(filepath.Join(dir, "absent"+ann.Ext)); err == nil {
+		t.Fatal("mapping an absent sidecar succeeded")
+	}
+}

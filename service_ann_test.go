@@ -1,0 +1,76 @@
+package anchor_test
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"anchor"
+	"anchor/internal/ann"
+)
+
+// TestServiceANNSidecarRoundTrip is the serving-tier persistence
+// acceptance test: the first ANN query builds the IVF index and persists
+// it as a .ann sidecar next to the snapshot's artifacts; a fresh service
+// over the same cache directory answers the same query bitwise from the
+// sidecar without rebuilding.
+func TestServiceANNSidecarRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	s1 := newTinyService(t, anchor.WithCacheDir(dir))
+	words := serviceQueryWords(t, s1, 5)
+	opts := []anchor.QueryOption{anchor.QueryK(5), anchor.QueryANN(true)}
+	rep1, err := s1.Neighbors(ctx, "mc", 8, words, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s1.QueryStats(); st.ANNBuilds != 1 {
+		t.Fatalf("first service builds = %d, want 1", st.ANNBuilds)
+	}
+	sidecars, err := filepath.Glob(filepath.Join(dir, "*"+ann.Ext))
+	if err != nil || len(sidecars) != 1 {
+		t.Fatalf("sidecars on disk = %v (err %v), want exactly one", sidecars, err)
+	}
+
+	s2 := newTinyService(t, anchor.WithCacheDir(dir))
+	rep2, err := s2.Neighbors(ctx, "mc", 8, words, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.QueryStats(); st.ANNBuilds != 0 {
+		t.Fatalf("warm service rebuilt the index: builds = %d", st.ANNBuilds)
+	}
+	if st := s2.StoreStats(); st.ANNDiskHits != 1 {
+		t.Fatalf("warm service store stats = %+v, want 1 ANN disk hit", st)
+	}
+	for i := range rep1.Results {
+		a, b := rep1.Results[i].Neighbors, rep2.Results[i].Neighbors
+		if len(a) != len(b) {
+			t.Fatalf("word %d: %d vs %d neighbors", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j].ID != b[j].ID || math.Float64bits(a[j].Score) != math.Float64bits(b[j].Score) {
+				t.Fatalf("word %d neighbor %d differs across restart: %+v vs %+v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// serviceQueryWords samples vocabulary words from the tiny corpus.
+func serviceQueryWords(t *testing.T, svc *anchor.Service, n int) []string {
+	t.Helper()
+	e, err := svc.Train(context.Background(), "mc", 2017, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Words) < n {
+		t.Fatalf("vocab too small: %d", len(e.Words))
+	}
+	words := make([]string, n)
+	for i := range words {
+		words[i] = e.Words[(i*13)%len(e.Words)]
+	}
+	return words
+}
